@@ -1,0 +1,59 @@
+// Command graphgen writes a synthetic graph to disk as a weighted edge
+// list, one "src dst weight" triple per line. Use it to materialize the
+// standard stand-in graphs (or custom RMAT/uniform graphs) for external
+// tools, or to inspect what the benchmarks run on.
+//
+// Usage:
+//
+//	graphgen -name TW-sim > tw.wel
+//	graphgen -logn 18 -deg 20 -directed -seed 7 > big.wel
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"tripoline/internal/gen"
+)
+
+func main() {
+	var (
+		name     = flag.String("name", "", "standard graph name (OR-sim, FR-sim, LJ-sim, TW-sim); overrides the knobs below")
+		scale    = flag.Int("scale", 1, "scale factor for -name")
+		logn     = flag.Int("logn", 14, "log2 of vertex count")
+		deg      = flag.Float64("deg", 16, "average out-degree")
+		directed = flag.Bool("directed", false, "generate a directed graph")
+		maxw     = flag.Uint64("maxw", 64, "maximum edge weight (weights are uniform in [1, maxw])")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		uniform  = flag.Bool("uniform", false, "Erdős–Rényi instead of RMAT")
+	)
+	flag.Parse()
+
+	cfg := gen.Config{
+		Name: "custom", LogN: *logn, AvgDegree: *deg,
+		Directed: *directed, MaxWeight: uint32(*maxw), Seed: *seed,
+	}
+	if *name != "" {
+		c, ok := gen.ByName(*name, *scale)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "graphgen: unknown graph %q\n", *name)
+			os.Exit(2)
+		}
+		cfg = c
+	}
+
+	edges := gen.RMAT(cfg)
+	if *uniform {
+		edges = gen.Uniform(cfg.N(), int(cfg.AvgDegree*float64(cfg.N())), cfg.MaxWeight, cfg.Seed)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "# %s n=%d arcs=%d directed=%v seed=%d\n",
+		cfg.Name, cfg.N(), len(edges), cfg.Directed, cfg.Seed)
+	for _, e := range edges {
+		fmt.Fprintf(w, "%d %d %d\n", e.Src, e.Dst, e.W)
+	}
+}

@@ -1,0 +1,77 @@
+// Command tripoline-server runs a Tripoline system as an HTTP query
+// service: it loads or generates a graph, enables a set of problems, and
+// serves the JSON API of internal/server.
+//
+// Usage:
+//
+//	tripoline-server -graph TW-sim -problems SSWP,SSSP -addr :8080
+//	tripoline-server -file my.wel -directed -problems BFS
+//
+// Then:
+//
+//	curl 'localhost:8080/v1/stats'
+//	curl 'localhost:8080/v1/query?problem=SSWP&source=42'
+//	curl -X POST localhost:8080/v1/batch -d '{"edges":[{"src":1,"dst":2,"w":3}]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"tripoline/internal/core"
+	"tripoline/internal/gen"
+	"tripoline/internal/server"
+	"tripoline/internal/streamgraph"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		gname    = flag.String("graph", "LJ-sim", "synthetic graph name")
+		file     = flag.String("file", "", "weighted edge list to load instead of generating")
+		directed = flag.Bool("directed", false, "treat -file graph as directed")
+		scale    = flag.Int("scale", 1, "graph scale factor")
+		probs    = flag.String("problems", "SSWP,SSSP,BFS", "problems to enable")
+		k        = flag.Int("k", 16, "standing queries per problem")
+		seed     = flag.Uint64("seed", 42, "seed for synthetic graphs")
+	)
+	flag.Parse()
+
+	var g *streamgraph.Graph
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		edges, n, err := gen.ReadWEL(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = streamgraph.New(n, *directed)
+		g.InsertEdges(edges)
+	} else {
+		cfg, ok := gen.ByName(*gname, *scale)
+		if !ok {
+			log.Fatalf("unknown graph %q", *gname)
+		}
+		cfg.Seed = *seed
+		g = streamgraph.New(cfg.N(), cfg.Directed)
+		g.InsertEdges(gen.RMAT(cfg))
+	}
+
+	sys := core.NewSystem(g, *k)
+	for _, p := range strings.Split(*probs, ",") {
+		if err := sys.Enable(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	snap := g.Acquire()
+	fmt.Printf("tripoline-server: %d vertices, %d arcs, problems %v, listening on %s\n",
+		snap.NumVertices(), snap.NumEdges(), sys.Enabled(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(sys, g)))
+}

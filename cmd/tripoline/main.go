@@ -1,0 +1,188 @@
+// Command tripoline is a demonstration driver for the Tripoline system:
+// it builds a streaming graph (synthetic, or loaded from a weighted edge
+// list), enables a set of problems, streams update batches, and answers
+// user queries both Δ-based and from scratch, printing per-query
+// speedups as it goes. It can also auto-tune K for a workload.
+//
+// Usage:
+//
+//	tripoline -graph LJ-sim -problems SSWP,SSSP -load 0.6 -queries 8
+//	tripoline -file my.wel -directed -problems SSSP
+//	tripoline -graph TW-sim -autotune -qpb 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tripoline/internal/bench"
+	"tripoline/internal/core"
+	"tripoline/internal/gen"
+	"tripoline/internal/streamgraph"
+	"tripoline/internal/trace"
+	"tripoline/internal/tuner"
+)
+
+func main() {
+	var (
+		gname    = flag.String("graph", "LJ-sim", "graph name (OR-sim, FR-sim, LJ-sim, TW-sim)")
+		file     = flag.String("file", "", "load a weighted edge list (\"src dst w\" lines) instead of generating")
+		directed = flag.Bool("directed", false, "treat the -file graph as directed")
+		scale    = flag.Int("scale", 1, "graph scale factor")
+		probs    = flag.String("problems", "SSWP,SSSP,BFS", "comma-separated problems to enable")
+		load     = flag.Float64("load", 0.6, "initially loaded fraction of the edge stream")
+		batch    = flag.Int("batch", 10000, "update batch size")
+		batches  = flag.Int("batches", 3, "update batches to stream")
+		k        = flag.Int("k", 16, "standing queries per problem")
+		queries  = flag.Int("queries", 8, "user queries per problem")
+		autotune = flag.Bool("autotune", false, "auto-tune K for the workload instead of running queries")
+		replay   = flag.Bool("replay", false, "synthesize and replay a mixed workload, reporting latency percentiles")
+		qpb      = flag.Float64("qpb", 4, "expected user queries per update batch (for -autotune/-replay)")
+		seed     = flag.Uint64("seed", 42, "seed")
+	)
+	flag.Parse()
+
+	problems := strings.Split(*probs, ",")
+
+	if *autotune {
+		runAutotune(*gname, *file, *directed, *scale, *load, *batch, problems[0], *qpb, *seed)
+		return
+	}
+	if *replay {
+		runReplay(*gname, *scale, *load, *batch, *batches, *k, problems, *qpb, *seed)
+		return
+	}
+
+	setup, err := prepare(*gname, *file, *directed, *scale, *load, *batch, *k, problems, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tripoline:", err)
+		os.Exit(1)
+	}
+	snap := setup.G.Acquire()
+	fmt.Printf("graph %s: %d vertices, %d arcs loaded (%.0f%% of stream), K=%d\n",
+		*gname, snap.NumVertices(), snap.NumEdges(), *load*100, *k)
+
+	for i := 0; i < *batches; i++ {
+		rep, ok := setup.ApplyNextBatch()
+		if !ok {
+			fmt.Println("stream exhausted")
+			break
+		}
+		fmt.Printf("batch %d: +%d edges (%d changed sources), standing queries re-stabilized in %s\n",
+			i+1, rep.BatchEdges, rep.ChangedSources, rep.StandingElapsed.Round(1e5))
+	}
+
+	qs := setup.SampleQueries(*queries, *seed+99)
+	for _, p := range problems {
+		fmt.Printf("\n%s user queries (Δ-based vs full):\n", p)
+		var sum float64
+		for _, u := range qs {
+			m := setup.MeasureQuery(p, u, 1)
+			sum += m.Speedup
+			fmt.Printf("  q(%-7d) Δ=%.4fs full=%.4fs speedup=%.2fx R_act=%s\n",
+				u, m.DeltaSeconds, m.FullSeconds, m.Speedup, fmtRatio(m.ActRatio))
+		}
+		fmt.Printf("  average speedup: %.2fx over %d queries\n", sum/float64(len(qs)), len(qs))
+	}
+}
+
+func fmtRatio(r float64) string {
+	if r < 0.0001 && r > 0 {
+		return fmt.Sprintf("%.1E", r)
+	}
+	return fmt.Sprintf("%.1f%%", 100*r)
+}
+
+// prepare builds the experiment setup from either a standard synthetic
+// graph or a weighted edge-list file.
+func prepare(gname, file string, directed bool, scale int, load float64, batch, k int, problems []string, seed uint64) (*bench.Setup, error) {
+	if file == "" {
+		return bench.Prepare(gname, scale, load, batch, k, 0, problems, seed)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	edges, n, err := gen.ReadWEL(f)
+	if err != nil {
+		return nil, err
+	}
+	return bench.PrepareEdges(file, n, edges, directed, load, batch, k, 0, problems, seed)
+}
+
+// runAutotune measures candidate K values for the workload and prints
+// the recommendation.
+func runAutotune(gname, file string, directed bool, scale int, load float64, batch int, problem string, qpb float64, seed uint64) {
+	var n int
+	var stream gen.Stream
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tripoline:", err)
+			os.Exit(1)
+		}
+		es, nn, err := gen.ReadWEL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tripoline:", err)
+			os.Exit(1)
+		}
+		n = nn
+		stream = gen.MakeStream(n, es, directed, load, batch, seed)
+	} else {
+		cfg, ok := gen.ByName(gname, scale)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tripoline: unknown graph %q\n", gname)
+			os.Exit(1)
+		}
+		n = cfg.N()
+		directed = cfg.Directed
+		stream = gen.MakeStream(n, gen.RMAT(cfg), directed, load, batch, seed)
+	}
+	res, err := tuner.TuneK(tuner.Config{
+		N: n, Directed: directed,
+		Initial: stream.Initial, Batches: stream.Batches,
+		Problem: problem, QueriesPerBatch: qpb, Seed: seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tripoline:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload: %.0f user queries per %d-edge batch, problem %s\n", qpb, batch, problem)
+	fmt.Print(res.String())
+}
+
+// runReplay synthesizes a mixed workload over the chosen graph, replays
+// it through a fresh system, and prints latency percentiles.
+func runReplay(gname string, scale int, load float64, batch, maxBatches, k int, problems []string, qpb float64, seed uint64) {
+	cfg, ok := gen.ByName(gname, scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tripoline: unknown graph %q\n", gname)
+		os.Exit(1)
+	}
+	stream := gen.MakeStream(cfg.N(), gen.RMAT(cfg), cfg.Directed, load, batch, seed)
+	g := streamgraph.New(cfg.N(), cfg.Directed)
+	g.InsertEdges(stream.Initial)
+	sys := core.NewSystem(g, k)
+	for _, p := range problems {
+		if err := sys.Enable(p); err != nil {
+			fmt.Fprintln(os.Stderr, "tripoline:", err)
+			os.Exit(1)
+		}
+	}
+	tr := trace.Synthesize(trace.SynthConfig{
+		Stream:          stream,
+		Problems:        problems,
+		QueriesPerBatch: qpb,
+		DeleteEvery:     4,
+		DeleteFraction:  0.05,
+		MaxBatches:      maxBatches,
+		Seed:            seed,
+	})
+	fmt.Printf("replaying %d events on %s (K=%d, %.0f queries/batch)\n",
+		len(tr.Events), gname, k, qpb)
+	fmt.Print(trace.Replay(sys, tr).String())
+}

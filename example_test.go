@@ -1,0 +1,83 @@
+package tripoline_test
+
+import (
+	"fmt"
+
+	"tripoline"
+)
+
+// ExampleSystem_Query shows the core workflow: stream edges, then answer
+// a query whose source vertex was never registered in advance.
+func ExampleSystem_Query() {
+	// A path 0 -1- 1 -4- 2 -2- 3 (weights on the edges).
+	g := tripoline.NewGraph(4, tripoline.Undirected)
+	g.InsertEdges([]tripoline.Edge{
+		{Src: 0, Dst: 1, W: 1},
+		{Src: 1, Dst: 2, W: 4},
+		{Src: 2, Dst: 3, W: 2},
+	})
+	sys := tripoline.NewSystem(g, tripoline.WithStandingQueries(1))
+	if err := sys.Enable("SSSP"); err != nil {
+		panic(err)
+	}
+	// New edges stream in; standing queries follow incrementally.
+	sys.ApplyBatch([]tripoline.Edge{{Src: 0, Dst: 3, W: 3}})
+
+	// Query from vertex 2 — not a standing root; answered Δ-based.
+	res, err := sys.Query("SSSP", 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("dist(2,0):", res.Values[0])
+	fmt.Println("dist(2,3):", res.Values[3])
+	// Output:
+	// dist(2,0): 5
+	// dist(2,3): 2
+}
+
+// ExampleSystem_QueryMany evaluates several user queries in one batched
+// Δ-based run.
+func ExampleSystem_QueryMany() {
+	g := tripoline.NewGraph(3, tripoline.Undirected)
+	g.InsertEdges([]tripoline.Edge{
+		{Src: 0, Dst: 1, W: 2},
+		{Src: 1, Dst: 2, W: 3},
+	})
+	sys := tripoline.NewSystem(g, tripoline.WithStandingQueries(1))
+	if err := sys.Enable("SSWP"); err != nil {
+		panic(err)
+	}
+	multi, err := sys.QueryMany("SSWP", []tripoline.VertexID{0, 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("wide(0→2):", multi.Value(2, 0))
+	fmt.Println("wide(2→0):", multi.Value(0, 1))
+	// Output:
+	// wide(0→2): 2
+	// wide(2→0): 2
+}
+
+// ExampleSystem_ApplyDeletions removes an edge; standing queries recover
+// with trimmed (KickStarter-style) re-derivation and queries stay exact.
+func ExampleSystem_ApplyDeletions() {
+	g := tripoline.NewGraph(3, tripoline.Directed)
+	g.InsertEdges([]tripoline.Edge{
+		{Src: 0, Dst: 1, W: 1},
+		{Src: 1, Dst: 2, W: 1},
+		{Src: 0, Dst: 2, W: 5},
+	})
+	sys := tripoline.NewSystem(g, tripoline.WithStandingQueries(1))
+	if err := sys.Enable("SSSP"); err != nil {
+		panic(err)
+	}
+	before, _ := sys.Query("SSSP", 0)
+	fmt.Println("before:", before.Values[2])
+
+	sys.ApplyDeletions([]tripoline.Edge{{Src: 1, Dst: 2, W: 1}})
+	after, _ := sys.Query("SSSP", 0)
+	fmt.Println("after:", after.Values[2])
+	// Output:
+	// before: 2
+	// after: 5
+}

@@ -1,0 +1,3 @@
+module tripoline
+
+go 1.22

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"tripoline/internal/graph"
+	"tripoline/internal/oracle"
+	"tripoline/internal/props"
+)
+
+// Verify is the release self-check: on each standard graph it streams
+// several batches, then cross-validates, for every problem,
+//
+//   - the Δ-based user query against the from-scratch evaluation, and
+//   - both against the independent sequential oracle,
+//
+// plus a deletion batch followed by the same checks (exercising the
+// trimmed recovery). It returns the number of failures and writes a
+// PASS/FAIL line per configuration.
+func Verify(w io.Writer, scale, queries int, seed uint64) int {
+	failures := 0
+	problems := []string{"BFS", "SSSP", "SSWP", "SSNP", "Viterbi", "SSR"}
+	for _, gname := range []string{"OR-sim", "LJ-sim"} {
+		setup, err := Prepare(gname, scale, 0.6, 5000, 4, 2, problems, seed)
+		if err != nil {
+			fmt.Fprintf(w, "FAIL %s: %v\n", gname, err)
+			failures++
+			continue
+		}
+		failures += verifySetup(w, setup, gname, queries, seed)
+
+		// Deletion phase: remove a slice of the initial edges, then
+		// re-verify (trimmed recovery under test).
+		del := setup.Stream.Initial[:200]
+		setup.Sys.ApplyDeletions(del)
+		failures += verifySetup(w, setup, gname+"+del", queries, seed+1)
+	}
+	if failures == 0 {
+		fmt.Fprintln(w, "VERIFY PASS")
+	} else {
+		fmt.Fprintf(w, "VERIFY FAIL: %d failures\n", failures)
+	}
+	return failures
+}
+
+func verifySetup(w io.Writer, setup *Setup, label string, queries int, seed uint64) int {
+	failures := 0
+	reg := props.Registry()
+	qs := setup.SampleQueries(queries, seed+99)
+	csr := setup.G.Acquire().CSR(setup.G.Directed())
+	for _, name := range setup.Sys.Enabled() {
+		p := reg[name]
+		bad := 0
+		for _, u := range qs {
+			inc, err := setup.Sys.Query(name, u)
+			if err != nil {
+				bad++
+				continue
+			}
+			full, err := setup.Sys.QueryFull(name, u)
+			if err != nil {
+				bad++
+				continue
+			}
+			want := oracle.BestPath(csr, p, graph.VertexID(u))
+			for v := range want {
+				if inc.Values[v] != want[v] || full.Values[v] != want[v] {
+					bad++
+					break
+				}
+			}
+		}
+		status := "PASS"
+		if bad > 0 {
+			status = fmt.Sprintf("FAIL(%d)", bad)
+			failures += bad
+		}
+		fmt.Fprintf(w, "%-6s %-12s %-8s (%d queries vs oracle)\n", status, label, name, len(qs))
+	}
+	return failures
+}

@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVerifyPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verify is a heavier end-to-end sweep")
+	}
+	var buf bytes.Buffer
+	if failures := Verify(&buf, 1, 3, 7); failures != 0 {
+		t.Fatalf("verify reported %d failures:\n%s", failures, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "VERIFY PASS") {
+		t.Fatalf("missing pass line:\n%s", out)
+	}
+	if !strings.Contains(out, "+del") {
+		t.Fatalf("deletion phase missing:\n%s", out)
+	}
+	if strings.Count(out, "PASS") < 24 { // 2 graphs × 2 phases × 6 problems
+		t.Fatalf("too few checks:\n%s", out)
+	}
+}

@@ -1,0 +1,165 @@
+// Package bitset implements fixed-capacity bit sets used for dense
+// frontiers and per-query activity masks in the Tripoline engine.
+//
+// Two flavors are provided: Set, a plain bit set for single-threaded
+// phases, and Atomic, whose Set operation is safe for concurrent writers
+// (the pattern required when many relaxations activate the same vertex in
+// one parallel step).
+package bitset
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set. The zero value is unusable; use New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Set able to hold bits [0, n).
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) { s.words[i/wordBits] |= 1 << uint(i%wordBits) }
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) { s.words[i/wordBits] &^= 1 << uint(i%wordBits) }
+
+// Get reports whether bit i is set.
+func (s *Set) Get(i int) bool { return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0 }
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ForEach calls f for every set bit in ascending order.
+func (s *Set) ForEach(f func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Members appends the indices of all set bits to dst and returns it.
+func (s *Set) Members(dst []int) []int {
+	s.ForEach(func(i int) { dst = append(dst, i) })
+	return dst
+}
+
+// Or sets s to the union of s and t. The sets must have equal capacity.
+func (s *Set) Or(t *Set) {
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// Atomic is a bit set whose Set and TestAndSet are safe for concurrent
+// writers. Reads concurrent with writes see either state of the bit.
+type Atomic struct {
+	words []atomic.Uint64
+	n     int
+}
+
+// NewAtomic returns an Atomic able to hold bits [0, n).
+func NewAtomic(n int) *Atomic {
+	return &Atomic{words: make([]atomic.Uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity of the set in bits.
+func (a *Atomic) Len() int { return a.n }
+
+// Set sets bit i; safe for concurrent use.
+func (a *Atomic) Set(i int) {
+	w := &a.words[i/wordBits]
+	mask := uint64(1) << uint(i%wordBits)
+	for {
+		old := w.Load()
+		if old&mask != 0 {
+			return
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			return
+		}
+	}
+}
+
+// TestAndSet sets bit i and reports whether this call changed it
+// (i.e. returns true exactly once per bit among racing callers).
+func (a *Atomic) TestAndSet(i int) bool {
+	w := &a.words[i/wordBits]
+	mask := uint64(1) << uint(i%wordBits)
+	for {
+		old := w.Load()
+		if old&mask != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			return true
+		}
+	}
+}
+
+// Get reports whether bit i is set.
+func (a *Atomic) Get(i int) bool {
+	return a.words[i/wordBits].Load()&(1<<uint(i%wordBits)) != 0
+}
+
+// Reset clears every bit. Not safe concurrently with writers.
+func (a *Atomic) Reset() {
+	for i := range a.words {
+		a.words[i].Store(0)
+	}
+}
+
+// Count returns the number of set bits. Not linearizable under concurrent
+// writers; intended for use between parallel steps.
+func (a *Atomic) Count() int {
+	c := 0
+	for i := range a.words {
+		c += bits.OnesCount64(a.words[i].Load())
+	}
+	return c
+}
+
+// ForEach calls f for every set bit in ascending order. Intended for use
+// between parallel steps.
+func (a *Atomic) ForEach(f func(i int)) {
+	for wi := range a.words {
+		w := a.words[wi].Load()
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Members appends the indices of all set bits to dst and returns it.
+func (a *Atomic) Members(dst []int) []int {
+	a.ForEach(func(i int) { dst = append(dst, i) })
+	return dst
+}

@@ -1,0 +1,187 @@
+package bitset
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if s.Get(i) {
+			t.Fatalf("fresh set has bit %d", i)
+		}
+		s.Set(i)
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+		s.Clear(i)
+		if s.Get(i) {
+			t.Fatalf("bit %d not cleared", i)
+		}
+	}
+}
+
+func TestCountAndForEach(t *testing.T) {
+	s := New(300)
+	want := []int{3, 64, 65, 130, 299}
+	for _, i := range want {
+		s.Set(i)
+	}
+	if s.Count() != len(want) {
+		t.Fatalf("Count = %d, want %d", s.Count(), len(want))
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order %v, want ascending %v", got, want)
+		}
+	}
+}
+
+func TestMembersMatchesForEach(t *testing.T) {
+	s := New(128)
+	s.Set(5)
+	s.Set(77)
+	m := s.Members(nil)
+	if len(m) != 2 || m[0] != 5 || m[1] != 77 {
+		t.Fatalf("Members = %v", m)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(100)
+	for i := 0; i < 100; i += 3 {
+		s.Set(i)
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", s.Count())
+	}
+}
+
+func TestOr(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Set(1)
+	b.Set(100)
+	a.Or(b)
+	if !a.Get(1) || !a.Get(100) || a.Count() != 2 {
+		t.Fatal("Or wrong")
+	}
+}
+
+// TestModelQuick checks Set against a map model under random operations.
+func TestModelQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 512
+		s := New(n)
+		model := map[int]bool{}
+		for _, op := range ops {
+			i := int(op) % n
+			switch op % 3 {
+			case 0:
+				s.Set(i)
+				model[i] = true
+			case 1:
+				s.Clear(i)
+				delete(model, i)
+			case 2:
+				if s.Get(i) != model[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(model) {
+			return false
+		}
+		ok := true
+		s.ForEach(func(i int) {
+			if !model[i] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicConcurrentSet(t *testing.T) {
+	const n = 4096
+	a := NewAtomic(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 2 { // heavy overlap between workers
+				a.Set(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := a.Count(); got != n {
+		t.Fatalf("Count = %d, want %d", got, n)
+	}
+}
+
+func TestAtomicTestAndSetExactlyOnce(t *testing.T) {
+	const n = 1024
+	a := NewAtomic(n)
+	wins := make([]int, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int, 0, n)
+			for i := 0; i < n; i++ {
+				if a.TestAndSet(i) {
+					local = append(local, i)
+				}
+			}
+			mu.Lock()
+			for _, i := range local {
+				wins[i]++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for i, c := range wins {
+		if c != 1 {
+			t.Fatalf("bit %d won %d times, want exactly 1", i, c)
+		}
+	}
+}
+
+func TestAtomicForEachAndReset(t *testing.T) {
+	a := NewAtomic(256)
+	a.Set(0)
+	a.Set(255)
+	var got []int
+	a.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != 2 || got[0] != 0 || got[1] != 255 {
+		t.Fatalf("ForEach = %v", got)
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestLen(t *testing.T) {
+	if New(65).Len() != 65 {
+		t.Fatal("Set.Len wrong")
+	}
+	if NewAtomic(1).Len() != 1 {
+		t.Fatal("Atomic.Len wrong")
+	}
+}

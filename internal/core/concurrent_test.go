@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/streamgraph"
+)
+
+// TestConcurrentUserQueries exercises the read-path concurrency the
+// architecture allows: user queries only read the (immutable) snapshot
+// and the standing property arrays, so any number may run in parallel.
+// (Updates and standing maintenance remain exclusive, per §5.)
+func TestConcurrentUserQueries(t *testing.T) {
+	edges := gen.Uniform(200, 2400, 8, 51)
+	g := streamgraph.New(200, false)
+	g.InsertEdges(edges)
+	sys := newSystem(t, g, "SSSP", "SSWP")
+
+	// Reference answers computed serially.
+	type key struct {
+		p string
+		u graph.VertexID
+	}
+	want := map[key][]uint64{}
+	sources := []graph.VertexID{3, 9, 42, 77, 120, 199}
+	for _, p := range []string{"SSSP", "SSWP"} {
+		for _, u := range sources {
+			res, err := sys.Query(p, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[key{p, u}] = res.Values
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for rep := 0; rep < 4; rep++ {
+		for _, p := range []string{"SSSP", "SSWP"} {
+			for _, u := range sources {
+				wg.Add(1)
+				go func(p string, u graph.VertexID) {
+					defer wg.Done()
+					res, err := sys.Query(p, u)
+					if err != nil {
+						errs <- err.Error()
+						return
+					}
+					ref := want[key{p, u}]
+					for v := range ref {
+						if res.Values[v] != ref[v] {
+							errs <- "concurrent query diverged"
+							return
+						}
+					}
+				}(p, u)
+			}
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestQueriesAgainstOldSnapshotDuringUpdates verifies that a query
+// evaluated on an acquired snapshot is unaffected by concurrent batch
+// application (snapshot isolation end to end).
+func TestQueriesAgainstOldSnapshotDuringUpdates(t *testing.T) {
+	edges := gen.Uniform(150, 1500, 8, 53)
+	g := streamgraph.New(150, true)
+	g.InsertEdges(edges[:1000])
+	sys := newSystem(t, g, "BFS")
+
+	before, err := sys.Query("BFS", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1000; i < len(edges); i += 100 {
+			end := i + 100
+			if end > len(edges) {
+				end = len(edges)
+			}
+			sys.ApplyBatch(edges[i:end])
+		}
+	}()
+	<-done
+	after, err := sys.Query("BFS", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More edges can only improve (lower) BFS levels — monotone stream.
+	for v := range after.Values {
+		if after.Values[v] > before.Values[v] {
+			t.Fatalf("levels got worse after insertions at %d: %d > %d",
+				v, after.Values[v], before.Values[v])
+		}
+	}
+}

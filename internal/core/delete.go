@@ -1,0 +1,89 @@
+package core
+
+import (
+	"time"
+
+	"tripoline/internal/engine"
+	"tripoline/internal/graph"
+	"tripoline/internal/props"
+)
+
+// rebuilder is implemented by handlers that can recover from
+// non-monotone graph changes (edge deletions) by re-evaluating their
+// standing state from scratch.
+type rebuilder interface {
+	rebuild(g engine.View) engine.Stats
+}
+
+// trimmer is implemented by handlers that support KickStarter-style
+// trimmed deletion recovery (package standing): only the value slots
+// whose derivation witnessed a deleted arc are reset and re-derived,
+// instead of a full re-evaluation.
+type trimmer interface {
+	recoverDeletions(g engine.View, deleted []graph.Edge, undirected bool) engine.Stats
+}
+
+// ApplyDeletions removes a batch of edges from the streaming graph and
+// recovers every enabled standing query.
+//
+// Deletions break the monotonicity that incremental resumption depends
+// on (a converged distance may now be *too good*). Handlers that track
+// the triangle problems recover with witness-based trimming (reset and
+// re-derive only values that depended on a deleted arc — the
+// KickStarter idea the paper cites); the whole-graph handlers
+// re-evaluate from scratch, which is always sound.
+func (s *System) ApplyDeletions(batch []graph.Edge) BatchReport {
+	snap, changed := s.G.DeleteEdges(batch)
+	rep := BatchReport{
+		BatchEdges:     len(batch),
+		ChangedSources: len(changed),
+		Version:        snap.Version(),
+	}
+	start := time.Now()
+	if len(changed) > 0 {
+		undirected := !s.G.Directed()
+		for _, name := range s.order {
+			switch h := s.handlers[name].(type) {
+			case trimmer:
+				rep.StandingStats.Add(h.recoverDeletions(snap, batch, undirected))
+			case rebuilder:
+				rep.StandingStats.Add(h.rebuild(snap))
+			}
+		}
+	}
+	rep.StandingElapsed = time.Since(start)
+	s.recordHistory()
+	return rep
+}
+
+func (h *simpleHandler) recoverDeletions(g engine.View, deleted []graph.Edge, undirected bool) engine.Stats {
+	return h.mgr.UpdateDeletions(g, deleted, undirected)
+}
+
+func (h *radiiHandler) recoverDeletions(g engine.View, deleted []graph.Edge, undirected bool) engine.Stats {
+	return h.mgr.UpdateDeletions(g, deleted, undirected)
+}
+
+func (h *ssnspHandler) recoverDeletions(g engine.View, deleted []graph.Edge, undirected bool) engine.Stats {
+	start := time.Now()
+	stats := h.mgr.UpdateDeletions(g, deleted, undirected)
+	h.recount(g)
+	h.last = time.Since(start)
+	return stats
+}
+
+func (h *pageRankHandler) rebuild(g engine.View) engine.Stats {
+	start := time.Now()
+	res := props.PageRank(g, 0.85, 100, 1e-9)
+	h.ranks = res.Ranks
+	h.last = time.Since(start)
+	return engine.Stats{Iterations: res.Iterations}
+}
+
+func (h *ccHandler) rebuild(g engine.View) engine.Stats {
+	start := time.Now()
+	st, stats := props.ConnectedComponents(g)
+	h.st = st
+	h.last = time.Since(start)
+	return stats
+}

@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"testing"
+
+	"tripoline/internal/core"
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/oracle"
+	"tripoline/internal/props"
+	"tripoline/internal/streamgraph"
+)
+
+// newSystem wraps an existing streaming graph with a small-K system and
+// enables the given problems.
+func newSystem(t *testing.T, g *streamgraph.Graph, problems ...string) *core.System {
+	t.Helper()
+	sys := core.NewSystem(g, 4)
+	for _, p := range problems {
+		if err := sys.Enable(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+// TestApplyDeletionsRecoversStandingQueries deletes edges and checks
+// that both Δ-based user queries and the standing state are correct on
+// the shrunken graph.
+func TestApplyDeletionsRecoversStandingQueries(t *testing.T) {
+	edges := gen.Uniform(150, 1400, 8, 33)
+	g := streamgraph.New(150, true)
+	g.InsertEdges(edges)
+	sys := newSystem(t, g, "SSSP", "SSWP", "SSNSP")
+
+	rep := sys.ApplyDeletions(edges[:400])
+	if rep.ChangedSources == 0 {
+		t.Fatal("no changes reported")
+	}
+	csr := g.Acquire().CSR(true)
+	for _, name := range []string{"SSSP", "SSWP"} {
+		p := props.Registry()[name]
+		for _, u := range []graph.VertexID{3, 77} {
+			inc, err := sys.Query(name, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracle.BestPath(csr, p, u)
+			for v := range want {
+				if inc.Values[v] != want[v] {
+					t.Fatalf("%s(%d) after deletions: value[%d]=%d, want %d",
+						name, u, v, inc.Values[v], want[v])
+				}
+			}
+		}
+	}
+	// SSNSP counts must also be recovered.
+	res, err := sys.Query("SSNSP", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLevels, wantCounts := oracle.CountShortestPaths(csr, 5)
+	for v := range wantLevels {
+		if res.Values[v] != wantLevels[v] || res.Counts[v] != wantCounts[v] {
+			t.Fatalf("SSNSP after deletions wrong at %d", v)
+		}
+	}
+}
+
+func TestApplyDeletionsThenInsertions(t *testing.T) {
+	edges := gen.Uniform(120, 1000, 8, 35)
+	g := streamgraph.New(120, false)
+	g.InsertEdges(edges[:800])
+	sys := newSystem(t, g, "BFS")
+
+	sys.ApplyDeletions(edges[:200])
+	sys.ApplyBatch(edges[800:])
+
+	csr := g.Acquire().CSR(false)
+	inc, err := sys.Query("BFS", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.BestPath(csr, props.BFS{}, 9)
+	for v := range want {
+		if inc.Values[v] != want[v] {
+			t.Fatalf("BFS after delete+insert: level[%d]=%d, want %d", v, inc.Values[v], want[v])
+		}
+	}
+}
+
+func TestApplyDeletionsNoOpBatch(t *testing.T) {
+	g := streamgraph.New(10, true)
+	g.InsertEdges([]graph.Edge{{Src: 0, Dst: 1, W: 1}})
+	sys := newSystem(t, g, "BFS")
+	rep := sys.ApplyDeletions([]graph.Edge{{Src: 5, Dst: 6, W: 1}})
+	if rep.ChangedSources != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	// Standing state untouched; queries still correct.
+	res, err := sys.Query("BFS", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[1] != 1 {
+		t.Fatal("standing state corrupted by no-op deletion")
+	}
+}
+
+func TestApplyDeletionsRecoversPageRankAndCC(t *testing.T) {
+	edges := gen.Uniform(100, 500, 4, 37)
+	g := streamgraph.New(100, false)
+	g.InsertEdges(edges)
+	sys := newSystem(t, g, "CC", "PageRank")
+	sys.ApplyDeletions(edges[:250])
+	res, err := sys.Query("CC", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.Components(g.Acquire().CSR(false))
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("CC after deletions wrong at %d (components may have split)", v)
+		}
+	}
+}

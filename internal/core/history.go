@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"tripoline/internal/graph"
+	"tripoline/internal/streamgraph"
+)
+
+// Time-travel queries: with history enabled, the system retains a window
+// of past snapshots (purely functional, so retention is nearly free) and
+// answers queries against any retained version — the evolving-graph
+// analysis scenario of Chronos/GraphTau, §7 of the paper.
+//
+// Historical queries are answered with a full evaluation: the standing
+// query state tracks only the latest version, so Δ-based initialization
+// is not valid against older snapshots (its bounds could be too good —
+// edges present now may be absent then).
+
+// EnableHistory starts retaining up to capacity snapshots. The current
+// snapshot is recorded immediately and after every subsequent
+// ApplyBatch/ApplyDeletions.
+func (s *System) EnableHistory(capacity int) {
+	s.history = streamgraph.NewHistory(capacity)
+	s.history.Record(s.G)
+}
+
+// HistoryVersions lists the retained snapshot versions in ascending
+// order (nil when history is disabled).
+func (s *System) HistoryVersions() []uint64 {
+	if s.history == nil {
+		return nil
+	}
+	return s.history.Versions()
+}
+
+// QueryAt answers a user query against the retained snapshot with the
+// given version, via full evaluation.
+func (s *System) QueryAt(version uint64, problem string, u graph.VertexID) (*QueryResult, error) {
+	if s.history == nil {
+		return nil, fmt.Errorf("core: history not enabled")
+	}
+	snap, ok := s.history.AtVersion(version)
+	if !ok {
+		return nil, fmt.Errorf("core: version %d not retained (have %v)", version, s.history.Versions())
+	}
+	h, okP := s.handlers[problem]
+	if !okP {
+		return nil, fmt.Errorf("core: problem %q not enabled", problem)
+	}
+	return h.queryFull(snap, u), nil
+}
+
+// recordHistory is called after every graph mutation.
+func (s *System) recordHistory() {
+	if s.history != nil {
+		s.history.Record(s.G)
+	}
+}

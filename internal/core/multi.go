@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tripoline/internal/engine"
+	"tripoline/internal/graph"
+	"tripoline/internal/triangle"
+)
+
+// MultiResult reports a batched user-query evaluation: up to 64 queries
+// of the same problem evaluated simultaneously under one combined
+// frontier — the batch-mode execution of §4.5 applied to *user* queries.
+// Each query is still Δ-initialized from its own best standing root, so
+// the batch keeps the full incremental benefit while touching the graph
+// and value arrays once instead of per query.
+type MultiResult struct {
+	Problem string
+	Sources []graph.VertexID
+	// Values is the K-wide array: Values[x*Width+j] is query j's value
+	// at vertex x.
+	Values []uint64
+	Width  int
+	Stats  engine.Stats
+	// Slots and PropURs record each query's chosen standing root.
+	Slots   []int
+	PropURs []uint64
+	Elapsed time.Duration
+}
+
+// Value returns query slot j's value at vertex x.
+func (r *MultiResult) Value(x graph.VertexID, j int) uint64 {
+	return r.Values[int(x)*r.Width+j]
+}
+
+// multiQuerier is implemented by handlers whose problems support batched
+// user queries (the six simple triangle problems and custom problems).
+type multiQuerier interface {
+	queryMulti(g engine.View, sources []graph.VertexID) (*MultiResult, error)
+}
+
+// QueryMany evaluates up to 64 same-problem user queries in one batched
+// Δ-based evaluation. The result values are identical to issuing each
+// Query separately; the work is the batch-mode coalesced version.
+func (s *System) QueryMany(problem string, sources []graph.VertexID) (*MultiResult, error) {
+	h, ok := s.handlers[problem]
+	if !ok {
+		return nil, fmt.Errorf("core: problem %q not enabled", problem)
+	}
+	mq, ok := h.(multiQuerier)
+	if !ok {
+		return nil, fmt.Errorf("core: problem %q does not support batched user queries", problem)
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("core: no sources")
+	}
+	if len(sources) > 64 {
+		return nil, fmt.Errorf("core: at most 64 queries per batch (got %d)", len(sources))
+	}
+	for _, u := range sources {
+		if err := s.checkSource(u); err != nil {
+			return nil, err
+		}
+		s.observe(u)
+	}
+	return mq.queryMulti(s.G.Acquire(), sources)
+}
+
+func (h *simpleHandler) queryMulti(g engine.View, sources []graph.VertexID) (*MultiResult, error) {
+	start := time.Now()
+	p := h.mgr.Problem
+	n := g.NumVertices()
+	w := len(sources)
+	res := &MultiResult{
+		Problem: p.Name(), Sources: sources, Width: w,
+		Values: make([]uint64, n*w),
+		Slots:  make([]int, w), PropURs: make([]uint64, w),
+	}
+	// Δ-initialize each slot from its own best standing root, laid out
+	// with stride w for coalesced access.
+	for j, u := range sources {
+		slot, propUR := h.mgr.Select(u)
+		res.Slots[j], res.PropURs[j] = slot, propUR
+		col := triangle.DeltaInitStrided(p, u, propUR,
+			h.mgr.Forward.Values, h.mgr.Forward.K, slot, n)
+		for x := 0; x < n; x++ {
+			res.Values[x*w+j] = col[x]
+		}
+	}
+	st := &engine.State{P: p, K: w, N: n, Values: res.Values}
+	seeds, masks := sourceSeeds(sources)
+	res.Stats = st.RunPush(g, seeds, masks)
+	res.Values = st.Values
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"testing"
+
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/oracle"
+	"tripoline/internal/props"
+	"tripoline/internal/streamgraph"
+)
+
+func TestRecordQueriesAndReselect(t *testing.T) {
+	edges := gen.Uniform(150, 1200, 8, 121)
+	g := streamgraph.New(150, false)
+	g.InsertEdges(edges)
+	sys := newSystem(t, g, "SSSP")
+
+	if sys.QueryHistogramTotal() != 0 {
+		t.Fatal("histogram non-empty before recording")
+	}
+	sys.RecordQueries(true)
+	for i := 0; i < 10; i++ {
+		if _, err := sys.Query("SSSP", 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.QueryHistogramTotal() != 10 {
+		t.Fatalf("recorded %d, want 10", sys.QueryHistogramTotal())
+	}
+
+	if err := sys.ReselectRoots("SSSP"); err != nil {
+		t.Fatal(err)
+	}
+	// After reselection, queries remain exactly correct.
+	csr := g.Acquire().CSR(false)
+	res, err := sys.Query("SSSP", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.BestPath(csr, props.SSSP{}, 42)
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("post-reselect query wrong at %d", v)
+		}
+	}
+
+	sys.RecordQueries(false)
+	if sys.QueryHistogramTotal() != 0 {
+		t.Fatal("histogram survived disable")
+	}
+}
+
+func TestReselectErrors(t *testing.T) {
+	g := streamgraph.New(10, true)
+	g.InsertEdges([]graph.Edge{{Src: 0, Dst: 1, W: 1}})
+	sys := newSystem(t, g, "PageRank")
+	if err := sys.ReselectRoots("SSSP"); err == nil {
+		t.Fatal("disabled problem accepted")
+	}
+	if err := sys.ReselectRoots("PageRank"); err == nil {
+		t.Fatal("rootless problem accepted")
+	}
+}
+
+func TestReselectWithoutHistoryEqualsTopDegree(t *testing.T) {
+	edges := gen.Uniform(100, 900, 8, 123)
+	g := streamgraph.New(100, false)
+	g.InsertEdges(edges)
+	sys := newSystem(t, g, "SSWP")
+	// No recording: reselection is still valid (top-degree roots).
+	if err := sys.ReselectRoots("SSWP"); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := sys.Query("SSWP", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := sys.QueryFull("SSWP", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range full.Values {
+		if inc.Values[v] != full.Values[v] {
+			t.Fatalf("post-reselect Δ/full differ at %d", v)
+		}
+	}
+}

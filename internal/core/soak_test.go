@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"testing"
+
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/oracle"
+	"tripoline/internal/props"
+	"tripoline/internal/streamgraph"
+	"tripoline/internal/xrand"
+)
+
+// TestStreamingSoak drives a long mixed session — insertion batches,
+// occasional deletion batches, and user queries across several problems —
+// validating the Δ-based answers against the oracle after every phase.
+// This is the closest the suite gets to the deployment lifecycle of §5.
+func TestStreamingSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const n = 160
+	rng := xrand.New(0xBEEF)
+	edges := gen.Uniform(n, 2000, 8, 0xBEEF)
+	g := streamgraph.New(n, true)
+	g.InsertEdges(edges[:800])
+	sys := newSystem(t, g, "SSSP", "SSWP", "SSR", "BFS")
+
+	problems := []string{"SSSP", "SSWP", "SSR", "BFS"}
+	reg := props.Registry()
+	next := 800
+	inserted := edges[:800]
+
+	validate := func(phase string) {
+		t.Helper()
+		csr := g.Acquire().CSR(true)
+		for _, name := range problems {
+			u := graph.VertexID(rng.Intn(n))
+			res, err := sys.Query(name, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracle.BestPath(csr, reg[name], u)
+			for v := range want {
+				if res.Values[v] != want[v] {
+					t.Fatalf("%s after %s: value[%d]=%d want %d",
+						name, phase, v, res.Values[v], want[v])
+				}
+			}
+		}
+	}
+
+	for round := 0; round < 6; round++ {
+		// Insert a batch.
+		if next < len(edges) {
+			end := next + 150
+			if end > len(edges) {
+				end = len(edges)
+			}
+			sys.ApplyBatch(edges[next:end])
+			inserted = edges[:end]
+			next = end
+			validate("insert")
+		}
+		// Every other round, delete a random slice of what's inserted.
+		if round%2 == 1 && len(inserted) > 100 {
+			start := rng.Intn(len(inserted) - 50)
+			sys.ApplyDeletions(inserted[start : start+50])
+			validate("delete")
+		}
+	}
+}

@@ -1,0 +1,529 @@
+// Package core implements the Tripoline system (§5): a shared-memory
+// streaming graph processing system that supports generalized incremental
+// evaluation of vertex-specific queries without a priori knowledge of
+// their source vertices.
+//
+// The system composes four components, mirroring Figure 10 of the paper:
+//
+//   - the streaming graph engine (package streamgraph, Aspen-like);
+//   - the standing query evaluation module (package standing), which
+//     incrementally maintains K pre-selected queries per enabled problem;
+//   - the user query evaluation module, which answers arbitrary-source
+//     queries via Δ-based incremental evaluation (package triangle);
+//   - the programming interface: engine.Problem supplies the vertex
+//     function plus the ⊕ / ⪰ triangle operators.
+//
+// The three runtime activities — applying graph updates, re-stabilizing
+// standing queries, evaluating user queries — execute exclusively (in
+// series), each internally parallel, exactly the configuration described
+// in §5.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"tripoline/internal/engine"
+	"tripoline/internal/graph"
+	"tripoline/internal/props"
+	"tripoline/internal/standing"
+	"tripoline/internal/streamgraph"
+	"tripoline/internal/triangle"
+)
+
+// DefaultK is the default number of standing queries per problem (§6.1).
+const DefaultK = 16
+
+// QueryResult reports one user-query evaluation.
+type QueryResult struct {
+	Problem string
+	Source  graph.VertexID
+	// Values holds the converged per-vertex values: width 1 for the six
+	// simple problems, width props.NumRadiiSources for Radii, and the BFS
+	// levels for SSNSP.
+	Values []uint64
+	Width  int
+	// Counts holds SSNSP's number-of-shortest-paths array (nil otherwise).
+	Counts []uint64
+	// Radius is Radii's scalar estimate (0 otherwise).
+	Radius uint64
+	// Stats is the engine work; for SSNSP it sums both rounds, with the
+	// counting round also available separately.
+	Stats      engine.Stats
+	CountStats engine.Stats
+	Elapsed    time.Duration
+	// Incremental reports whether Δ-based initialization was used.
+	Incremental bool
+	// StandingSlot and PropUR record the chosen standing query (Eq. 15)
+	// for incremental runs of the simple problems.
+	StandingSlot int
+	PropUR       uint64
+}
+
+// BatchReport summarizes one applied update batch.
+type BatchReport struct {
+	BatchEdges      int
+	ChangedSources  int
+	StandingElapsed time.Duration
+	StandingStats   engine.Stats
+	Version         uint64
+}
+
+// handler is the per-problem strategy: simple triangle problems, Radii,
+// SSNSP, and the whole-graph queries each maintain and answer differently.
+type handler interface {
+	update(g engine.View, changed []graph.VertexID) engine.Stats
+	lastMaintain() time.Duration
+	queryDelta(g engine.View, u graph.VertexID) *QueryResult
+	queryFull(g engine.View, u graph.VertexID) *QueryResult
+}
+
+// System is a Tripoline instance over one streaming graph.
+type System struct {
+	G        *streamgraph.Graph
+	K        int
+	handlers map[string]handler
+	// order preserves enable order for deterministic iteration.
+	order []string
+	// hist, when non-nil, records user-query sources for
+	// ReselectRoots (see RecordQueries).
+	hist *standing.QueryHistogram
+	// history, when non-nil, retains past snapshots for QueryAt
+	// (see EnableHistory).
+	history *streamgraph.History
+}
+
+// NewSystem wraps a streaming graph. k is the number of standing queries
+// per problem (clamped to [1, 64]; 0 selects DefaultK).
+func NewSystem(g *streamgraph.Graph, k int) *System {
+	if k == 0 {
+		k = DefaultK
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > 64 {
+		k = 64
+	}
+	return &System{G: g, K: k, handlers: make(map[string]handler)}
+}
+
+// TopDegreeRoots returns the top-k out-degree vertices of the snapshot —
+// the topology-based standing query selection (Eq. 14).
+func TopDegreeRoots(s *streamgraph.Snapshot, k int) []graph.VertexID {
+	n := s.NumVertices()
+	ids := make([]int, n)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		ids[v] = v
+		deg[v] = s.Degree(graph.VertexID(v))
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if deg[ids[a]] != deg[ids[b]] {
+			return deg[ids[a]] > deg[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	if k > n {
+		k = n
+	}
+	out := make([]graph.VertexID, k)
+	for i := 0; i < k; i++ {
+		out[i] = graph.VertexID(ids[i])
+	}
+	return out
+}
+
+// Enable sets up standing queries for the named problem ("BFS", "SSSP",
+// "SSWP", "SSNP", "Viterbi", "SSR", "Radii", "SSNSP", "PageRank", "CC")
+// by fully evaluating them on the current snapshot.
+func (s *System) Enable(name string) error {
+	if _, dup := s.handlers[name]; dup {
+		return fmt.Errorf("core: problem %s already enabled", name)
+	}
+	snap := s.G.Acquire()
+	roots := TopDegreeRoots(snap, s.K)
+	var h handler
+	switch name {
+	case "BFS", "SSSP", "SSWP", "SSNP", "Viterbi", "SSR":
+		p := props.Registry()[name]
+		h = &simpleHandler{mgr: standing.New(p, snap, roots, s.G.Directed())}
+	case "Radii":
+		h = newRadiiHandler(snap, roots, s.G.Directed())
+	case "SSNSP":
+		h = newSSNSPHandler(snap, roots, s.G.Directed())
+	case "PageRank":
+		h = newPageRankHandler(snap)
+	case "CC":
+		h = newCCHandler(snap)
+	default:
+		return fmt.Errorf("core: unknown problem %q", name)
+	}
+	s.handlers[name] = h
+	s.order = append(s.order, name)
+	return nil
+}
+
+// EnableCustom sets up standing queries for a user-defined problem: any
+// engine.Problem whose Relax is monotonic and async-safe and whose
+// Combine/Better satisfy the graph triangle inequality for the property
+// it computes (Definition 3.1) gets the full Δ-based treatment — the
+// programming interface of §5. The problem is registered under
+// p.Name(), which must not collide with an enabled problem.
+func (s *System) EnableCustom(p engine.Problem) error {
+	name := p.Name()
+	if _, dup := s.handlers[name]; dup {
+		return fmt.Errorf("core: problem %s already enabled", name)
+	}
+	snap := s.G.Acquire()
+	roots := TopDegreeRoots(snap, s.K)
+	s.handlers[name] = &simpleHandler{mgr: standing.New(p, snap, roots, s.G.Directed())}
+	s.order = append(s.order, name)
+	return nil
+}
+
+// Enabled lists enabled problems in enable order.
+func (s *System) Enabled() []string { return append([]string(nil), s.order...) }
+
+// ApplyBatch inserts an edge batch into the streaming graph and
+// incrementally re-stabilizes every enabled standing query.
+func (s *System) ApplyBatch(batch []graph.Edge) BatchReport {
+	snap, changed := s.G.InsertEdges(batch)
+	rep := BatchReport{
+		BatchEdges:     len(batch),
+		ChangedSources: len(changed),
+		Version:        snap.Version(),
+	}
+	start := time.Now()
+	for _, name := range s.order {
+		rep.StandingStats.Add(s.handlers[name].update(snap, changed))
+	}
+	rep.StandingElapsed = time.Since(start)
+	s.recordHistory()
+	return rep
+}
+
+// StandingMaintainTime returns the wall time of the named problem's most
+// recent standing-query (re-)evaluation.
+func (s *System) StandingMaintainTime(name string) (time.Duration, error) {
+	h, ok := s.handlers[name]
+	if !ok {
+		return 0, fmt.Errorf("core: problem %q not enabled", name)
+	}
+	return h.lastMaintain(), nil
+}
+
+// checkSource validates a user-query source against the current graph.
+func (s *System) checkSource(u graph.VertexID) error {
+	if n := s.G.Acquire().NumVertices(); int(u) >= n {
+		return fmt.Errorf("core: source %d out of range (graph has %d vertices)", u, n)
+	}
+	return nil
+}
+
+// Query answers a user query with Δ-based incremental evaluation.
+func (s *System) Query(name string, u graph.VertexID) (*QueryResult, error) {
+	h, ok := s.handlers[name]
+	if !ok {
+		return nil, fmt.Errorf("core: problem %q not enabled", name)
+	}
+	if err := s.checkSource(u); err != nil {
+		return nil, err
+	}
+	s.observe(u)
+	return h.queryDelta(s.G.Acquire(), u), nil
+}
+
+// QueryFull answers a user query with a from-scratch (non-incremental)
+// evaluation — the baseline the paper's speedups compare against.
+func (s *System) QueryFull(name string, u graph.VertexID) (*QueryResult, error) {
+	h, ok := s.handlers[name]
+	if !ok {
+		return nil, fmt.Errorf("core: problem %q not enabled", name)
+	}
+	if err := s.checkSource(u); err != nil {
+		return nil, err
+	}
+	return h.queryFull(s.G.Acquire(), u), nil
+}
+
+// ---------------------------------------------------------------------
+// simple problems: BFS, SSSP, SSWP, SSNP, Viterbi, SSR
+
+type simpleHandler struct {
+	mgr *standing.Manager
+}
+
+func (h *simpleHandler) update(g engine.View, changed []graph.VertexID) engine.Stats {
+	return h.mgr.Update(g, changed)
+}
+
+func (h *simpleHandler) lastMaintain() time.Duration { return h.mgr.LastMaintain }
+
+func (h *simpleHandler) queryDelta(g engine.View, u graph.VertexID) *QueryResult {
+	start := time.Now()
+	init, slot, propUR := h.mgr.DeltaFor(u)
+	st := &engine.State{P: h.mgr.Problem, K: 1, N: len(init), Values: init}
+	stats := st.RunPush(g, []graph.VertexID{u}, []uint64{1})
+	return &QueryResult{
+		Problem: h.mgr.Problem.Name(), Source: u,
+		Values: st.Values, Width: 1,
+		Stats: stats, Elapsed: time.Since(start),
+		Incremental: true, StandingSlot: slot, PropUR: propUR,
+	}
+}
+
+func (h *simpleHandler) queryFull(g engine.View, u graph.VertexID) *QueryResult {
+	start := time.Now()
+	st, stats := engine.Run(g, h.mgr.Problem, []graph.VertexID{u})
+	return &QueryResult{
+		Problem: h.mgr.Problem.Name(), Source: u,
+		Values: st.Values, Width: 1,
+		Stats: stats, Elapsed: time.Since(start),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Radii: a 16-wide SSSP whose radius estimate is the largest finite
+// distance (Table 1's dist1..dist16). A Radii user query rooted at u runs
+// sources {u, h_2..h_16} where the helpers are deterministic in u; each
+// slot is Δ-initialized independently via the SSSP triangle.
+
+type radiiHandler struct {
+	mgr *standing.Manager // SSSP standing queries reused per slot
+}
+
+func newRadiiHandler(g engine.View, roots []graph.VertexID, directed bool) *radiiHandler {
+	return &radiiHandler{mgr: standing.New(props.SSSP{}, g, roots, directed)}
+}
+
+func (h *radiiHandler) update(g engine.View, changed []graph.VertexID) engine.Stats {
+	return h.mgr.Update(g, changed)
+}
+
+func (h *radiiHandler) lastMaintain() time.Duration { return h.mgr.LastMaintain }
+
+// radiiSources derives the query's 16 SSSP sources from u.
+func radiiSources(u graph.VertexID, n int) []graph.VertexID {
+	out := make([]graph.VertexID, props.NumRadiiSources)
+	out[0] = u
+	seed := uint64(u)*0x9E3779B97F4A7C15 + 1
+	for i := 1; i < len(out); i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		out[i] = graph.VertexID((seed >> 17) % uint64(n))
+	}
+	return out
+}
+
+func (h *radiiHandler) queryDelta(g engine.View, u graph.VertexID) *QueryResult {
+	start := time.Now()
+	n := g.NumVertices()
+	sources := radiiSources(u, n)
+	w := len(sources)
+	st := engine.NewState(props.SSSP{}, n, w)
+	// Δ-initialize each slot from its best standing root.
+	for j, src := range sources {
+		slot, propUR := h.mgr.Select(src)
+		col := triangle.DeltaInitStrided(props.SSSP{}, src, propUR,
+			h.mgr.Forward.Values, h.mgr.Forward.K, slot, n)
+		for x := 0; x < n; x++ {
+			st.Values[x*w+j] = col[x]
+		}
+	}
+	seeds, masks := sourceSeeds(sources)
+	stats := st.RunPush(g, seeds, masks)
+	return &QueryResult{
+		Problem: "Radii", Source: u,
+		Values: st.Values, Width: w,
+		Radius: props.RadiiEstimate(st.Values, n, w),
+		Stats:  stats, Elapsed: time.Since(start),
+		Incremental: true,
+	}
+}
+
+func (h *radiiHandler) queryFull(g engine.View, u graph.VertexID) *QueryResult {
+	start := time.Now()
+	n := g.NumVertices()
+	sources := radiiSources(u, n)
+	st, stats := engine.Run(g, props.SSSP{}, sources)
+	return &QueryResult{
+		Problem: "Radii", Source: u,
+		Values: st.Values, Width: len(sources),
+		Radius: props.RadiiEstimate(st.Values, n, len(sources)),
+		Stats:  stats, Elapsed: time.Since(start),
+	}
+}
+
+// sourceSeeds folds duplicate sources into combined masks.
+func sourceSeeds(sources []graph.VertexID) ([]graph.VertexID, []uint64) {
+	seeds := make([]graph.VertexID, 0, len(sources))
+	masks := make([]uint64, 0, len(sources))
+	index := make(map[graph.VertexID]int, len(sources))
+	for k, s := range sources {
+		if i, ok := index[s]; ok {
+			masks[i] |= 1 << uint(k)
+			continue
+		}
+		index[s] = len(seeds)
+		seeds = append(seeds, s)
+		masks = append(masks, 1<<uint(k))
+	}
+	return seeds, masks
+}
+
+// ---------------------------------------------------------------------
+// SSNSP: BFS levels maintained as standing queries (K-wide), per-root
+// shortest-path counts recomputed after every batch (counting is not
+// incrementally resumable — see props.SSNSPResult). User queries reuse
+// the BFS triangle for the level round and recount exactly.
+
+type ssnspHandler struct {
+	mgr    *standing.Manager // BFS levels
+	counts [][]uint64        // per-root counts, refreshed each update
+	last   time.Duration
+}
+
+func newSSNSPHandler(g engine.View, roots []graph.VertexID, directed bool) *ssnspHandler {
+	start := time.Now()
+	h := &ssnspHandler{mgr: standing.New(props.BFS{}, g, roots, directed)}
+	h.recount(g)
+	h.last = time.Since(start)
+	return h
+}
+
+func (h *ssnspHandler) recount(g engine.View) {
+	h.counts = h.counts[:0]
+	for k, r := range h.mgr.Roots {
+		res := countRoundFromLevels(g, r, h.mgr.Forward, k)
+		h.counts = append(h.counts, res)
+	}
+}
+
+// countRoundFromLevels recounts shortest paths for root slot k using the
+// standing BFS levels.
+func countRoundFromLevels(g engine.View, root graph.VertexID, st *engine.State, k int) []uint64 {
+	levels := st.Column(k)
+	res := props.CountShortestPaths(g, root, levels)
+	return res
+}
+
+func (h *ssnspHandler) update(g engine.View, changed []graph.VertexID) engine.Stats {
+	start := time.Now()
+	stats := h.mgr.Update(g, changed)
+	h.recount(g)
+	h.last = time.Since(start)
+	return stats
+}
+
+func (h *ssnspHandler) lastMaintain() time.Duration { return h.last }
+
+func (h *ssnspHandler) queryDelta(g engine.View, u graph.VertexID) *QueryResult {
+	start := time.Now()
+	init, slot, propUR := h.mgr.DeltaFor(u)
+	initCopy := append([]uint64(nil), init...)
+	res := props.RunSSNSPDelta(g, u, init)
+	res.PredicateRate = props.PredicateRate(initCopy, res.Levels)
+	stats := res.LevelStats
+	stats.Add(res.CountStats)
+	return &QueryResult{
+		Problem: "SSNSP", Source: u,
+		Values: res.Levels, Width: 1, Counts: res.Counts,
+		Stats: stats, CountStats: res.CountStats,
+		Elapsed:     time.Since(start),
+		Incremental: true, StandingSlot: slot, PropUR: propUR,
+	}
+}
+
+func (h *ssnspHandler) queryFull(g engine.View, u graph.VertexID) *QueryResult {
+	start := time.Now()
+	res := props.RunSSNSP(g, u)
+	stats := res.LevelStats
+	stats.Add(res.CountStats)
+	return &QueryResult{
+		Problem: "SSNSP", Source: u,
+		Values: res.Levels, Width: 1, Counts: res.Counts,
+		Stats: stats, CountStats: res.CountStats,
+		Elapsed: time.Since(start),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Whole-graph queries (no triangle needed): the system maintains them
+// incrementally like classic streaming systems and answers from the
+// standing state directly.
+
+type pageRankHandler struct {
+	ranks []float64
+	last  time.Duration
+}
+
+func newPageRankHandler(g engine.View) *pageRankHandler {
+	start := time.Now()
+	res := props.PageRank(g, 0.85, 100, 1e-9)
+	return &pageRankHandler{ranks: res.Ranks, last: time.Since(start)}
+}
+
+func (h *pageRankHandler) update(g engine.View, _ []graph.VertexID) engine.Stats {
+	start := time.Now()
+	res := props.PageRankFrom(g, h.ranks, 0.85, 100, 1e-9)
+	h.ranks = res.Ranks
+	h.last = time.Since(start)
+	return engine.Stats{Iterations: res.Iterations}
+}
+
+func (h *pageRankHandler) lastMaintain() time.Duration { return h.last }
+
+func (h *pageRankHandler) queryDelta(_ engine.View, u graph.VertexID) *QueryResult {
+	vals := make([]uint64, len(h.ranks))
+	for i, r := range h.ranks {
+		vals[i] = floatBits(r)
+	}
+	return &QueryResult{Problem: "PageRank", Source: u, Values: vals, Width: 1, Incremental: true}
+}
+
+func (h *pageRankHandler) queryFull(g engine.View, u graph.VertexID) *QueryResult {
+	start := time.Now()
+	res := props.PageRank(g, 0.85, 100, 1e-9)
+	vals := make([]uint64, len(res.Ranks))
+	for i, r := range res.Ranks {
+		vals[i] = floatBits(r)
+	}
+	return &QueryResult{Problem: "PageRank", Source: u, Values: vals, Width: 1,
+		Stats: engine.Stats{Iterations: res.Iterations}, Elapsed: time.Since(start)}
+}
+
+type ccHandler struct {
+	st   *engine.State
+	last time.Duration
+}
+
+func newCCHandler(g engine.View) *ccHandler {
+	start := time.Now()
+	st, _ := props.ConnectedComponents(g)
+	return &ccHandler{st: st, last: time.Since(start)}
+}
+
+func (h *ccHandler) update(g engine.View, changed []graph.VertexID) engine.Stats {
+	start := time.Now()
+	stats := props.ResumeConnectedComponents(g, h.st, changed)
+	h.last = time.Since(start)
+	return stats
+}
+
+func (h *ccHandler) lastMaintain() time.Duration { return h.last }
+
+func (h *ccHandler) queryDelta(_ engine.View, u graph.VertexID) *QueryResult {
+	vals := append([]uint64(nil), h.st.Values...)
+	return &QueryResult{Problem: "CC", Source: u, Values: vals, Width: 1, Incremental: true}
+}
+
+func (h *ccHandler) queryFull(g engine.View, u graph.VertexID) *QueryResult {
+	start := time.Now()
+	st, stats := props.ConnectedComponents(g)
+	return &QueryResult{Problem: "CC", Source: u, Values: append([]uint64(nil), st.Values...),
+		Width: 1, Stats: stats, Elapsed: time.Since(start)}
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,92 @@
+package ctree
+
+// Range iteration: visit elements with keys in [lo, hi] in ascending
+// order. Used by graph algorithms that need a slice of the adjacency
+// (e.g. intersecting neighbor ranges) without materializing the whole
+// edge list.
+
+// ForEachRange visits every element with lo <= Key(e) <= hi in ascending
+// key order.
+func (t Tree) ForEachRange(lo, hi uint32, f func(e uint64)) {
+	if lo > hi {
+		return
+	}
+	for _, e := range t.prefix {
+		k := Key(e)
+		if k > hi {
+			return
+		}
+		if k >= lo {
+			f(e)
+		}
+	}
+	t.root.forEachRange(lo, hi, f)
+}
+
+func (n *node) forEachRange(lo, hi uint32, f func(e uint64)) {
+	if n == nil {
+		return
+	}
+	hk := Key(n.head)
+	if lo < hk {
+		n.left.forEachRange(lo, hi, f)
+	}
+	if hk >= lo && hk <= hi {
+		f(n.head)
+	}
+	// The chunk holds keys in (hk, next head); visit the overlap.
+	if hk <= hi {
+		for _, e := range n.chunk {
+			k := Key(e)
+			if k > hi {
+				break
+			}
+			if k >= lo {
+				f(e)
+			}
+		}
+	}
+	if hi > hk {
+		n.right.forEachRange(lo, hi, f)
+	}
+}
+
+// CountRange returns the number of elements with keys in [lo, hi].
+func (t Tree) CountRange(lo, hi uint32) int {
+	c := 0
+	t.ForEachRange(lo, hi, func(uint64) { c++ })
+	return c
+}
+
+// Min returns the smallest element, if any.
+func (t Tree) Min() (uint64, bool) {
+	if len(t.prefix) > 0 {
+		return t.prefix[0], true
+	}
+	n := t.root
+	if n == nil {
+		return 0, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.head, true
+}
+
+// Max returns the largest element, if any.
+func (t Tree) Max() (uint64, bool) {
+	n := t.root
+	if n == nil {
+		if len(t.prefix) == 0 {
+			return 0, false
+		}
+		return t.prefix[len(t.prefix)-1], true
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	if len(n.chunk) > 0 {
+		return n.chunk[len(n.chunk)-1], true
+	}
+	return n.head, true
+}

@@ -1,0 +1,113 @@
+package ctree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tripoline/internal/xrand"
+)
+
+func rangeTree(keys []uint32) Tree {
+	tr := Empty()
+	for _, k := range keys {
+		tr = tr.Insert(Elem(k, k))
+	}
+	return tr
+}
+
+func TestForEachRangeBasic(t *testing.T) {
+	tr := rangeTree([]uint32{1, 5, 10, 15, 20, 25})
+	var got []uint32
+	tr.ForEachRange(5, 20, func(e uint64) { got = append(got, Key(e)) })
+	want := []uint32{5, 10, 15, 20}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestForEachRangeEmptyAndInverted(t *testing.T) {
+	tr := rangeTree([]uint32{3, 7})
+	count := 0
+	tr.ForEachRange(4, 6, func(uint64) { count++ })
+	if count != 0 {
+		t.Fatalf("gap range visited %d", count)
+	}
+	tr.ForEachRange(7, 3, func(uint64) { count++ })
+	if count != 0 {
+		t.Fatal("inverted range visited elements")
+	}
+}
+
+func TestForEachRangeFullCoversAll(t *testing.T) {
+	rng := xrand.New(5)
+	keys := make([]uint32, 500)
+	for i := range keys {
+		keys[i] = uint32(rng.Intn(10_000))
+	}
+	tr := rangeTree(keys)
+	if tr.CountRange(0, ^uint32(0)) != tr.Size() {
+		t.Fatalf("full range count %d != size %d", tr.CountRange(0, ^uint32(0)), tr.Size())
+	}
+}
+
+func TestForEachRangeQuickAgainstModel(t *testing.T) {
+	f := func(keys []uint16, loRaw, hiRaw uint16) bool {
+		lo, hi := uint32(loRaw), uint32(hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		tr := Empty()
+		m := map[uint32]bool{}
+		for _, k := range keys {
+			tr = tr.Insert(Elem(uint32(k), 0))
+			m[uint32(k)] = true
+		}
+		want := 0
+		for k := range m {
+			if k >= lo && k <= hi {
+				want++
+			}
+		}
+		// Also check ordering.
+		prev := int64(-1)
+		ok := true
+		got := 0
+		tr.ForEachRange(lo, hi, func(e uint64) {
+			k := Key(e)
+			if int64(k) <= prev || k < lo || k > hi {
+				ok = false
+			}
+			prev = int64(k)
+			got++
+		})
+		return ok && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, ok := Empty().Min(); ok {
+		t.Fatal("empty tree has a min")
+	}
+	if _, ok := Empty().Max(); ok {
+		t.Fatal("empty tree has a max")
+	}
+	rng := xrand.New(9)
+	keys := rng.Perm(1000)
+	tr := Empty()
+	for _, k := range keys {
+		tr = tr.Insert(Elem(uint32(k)+5, 0))
+	}
+	mn, ok1 := tr.Min()
+	mx, ok2 := tr.Max()
+	if !ok1 || !ok2 || Key(mn) != 5 || Key(mx) != 1004 {
+		t.Fatalf("min=%d max=%d", Key(mn), Key(mx))
+	}
+}

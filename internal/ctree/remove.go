@@ -1,0 +1,172 @@
+package ctree
+
+// Removal support. The paper's streaming scenario is insert-only; the
+// remove operations below are an extension that keeps the C-tree a
+// complete general-purpose persistent set, enabling the streaming engine
+// to support edge deletions (with standing-query recovery handled one
+// level up — deletions break monotonicity, so resumed evaluation is not
+// sound and the system recomputes instead; see streamgraph and core).
+
+// Remove returns a tree without the element whose key is key, and
+// reports whether an element was removed. Like every Tree operation it
+// is functional: t itself is unchanged.
+func (t Tree) Remove(key uint32) (Tree, bool) {
+	if isHead(key) {
+		return t.removeHead(key)
+	}
+	// Non-head: the element lives in the prefix or in the chunk of its
+	// predecessor head.
+	if root, ok, removed := removeFromChunks(t.root, key); removed {
+		_ = ok
+		return Tree{prefix: t.prefix, root: root}, true
+	} else if ok {
+		// Key's position is inside the subtree but absent.
+		return t, false
+	}
+	// Belongs in the prefix.
+	if p, removed := chunkRemove(t.prefix, key); removed {
+		return Tree{prefix: p, root: t.root}, true
+	}
+	return t, false
+}
+
+// chunkRemove removes key from a sorted chunk, returning a fresh slice.
+func chunkRemove(chunk []uint64, key uint32) ([]uint64, bool) {
+	lo, hi := 0, len(chunk)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Key(chunk[mid]) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(chunk) || Key(chunk[lo]) != key {
+		return chunk, false
+	}
+	out := make([]uint64, 0, len(chunk)-1)
+	out = append(out, chunk[:lo]...)
+	out = append(out, chunk[lo+1:]...)
+	return out, true
+}
+
+// removeFromChunks removes a non-head key from the chunk of its
+// predecessor head within n. owned reports whether the key falls after
+// some head in n (i.e. n owns the position); removed whether an element
+// was deleted.
+func removeFromChunks(n *node, key uint32) (out *node, owned, removed bool) {
+	if n == nil {
+		return nil, false, false
+	}
+	if key < Key(n.head) {
+		nl, owned, removed := removeFromChunks(n.left, key)
+		if !owned {
+			return n, false, false
+		}
+		if !removed {
+			return n, true, false
+		}
+		return &node{left: nl, right: n.right, head: n.head, chunk: n.chunk,
+			size: n.size - 1, pri: n.pri}, true, true
+	}
+	// key > n.head: predecessor is in the right subtree if it owns key,
+	// else n itself.
+	if nr, owned, removed := removeFromChunks(n.right, key); owned {
+		if !removed {
+			return n, true, false
+		}
+		return &node{left: n.left, right: nr, head: n.head, chunk: n.chunk,
+			size: n.size - 1, pri: n.pri}, true, true
+	}
+	c, ok := chunkRemove(n.chunk, key)
+	if !ok {
+		return n, true, false
+	}
+	return &node{left: n.left, right: n.right, head: n.head, chunk: c,
+		size: n.size - 1, pri: n.pri}, true, true
+}
+
+// removeHead removes a head element: its node leaves the treap (children
+// merged) and its chunk migrates to the predecessor head's chunk (or the
+// prefix when the removed head was the smallest).
+func (t Tree) removeHead(key uint32) (Tree, bool) {
+	root, orphan, found := deleteHead(t.root, key)
+	if !found {
+		return t, false
+	}
+	if len(orphan) == 0 {
+		return Tree{prefix: t.prefix, root: root}, true
+	}
+	// Re-home the orphaned chunk: it belongs after the predecessor of
+	// key, or in the prefix when no smaller head remains.
+	if root2, ok := appendToPred(root, key, orphan); ok {
+		return Tree{prefix: t.prefix, root: root2}, true
+	}
+	p := make([]uint64, 0, len(t.prefix)+len(orphan))
+	p = append(p, t.prefix...)
+	p = append(p, orphan...)
+	return Tree{prefix: p, root: root}, true
+}
+
+// deleteHead removes the node with the given head key, returning the new
+// subtree and the removed node's chunk.
+func deleteHead(n *node, key uint32) (out *node, orphan []uint64, found bool) {
+	if n == nil {
+		return nil, nil, false
+	}
+	switch hk := Key(n.head); {
+	case key < hk:
+		nl, orphan, found := deleteHead(n.left, key)
+		if !found {
+			return n, nil, false
+		}
+		return mk(nl, n.head, n.chunk, n.right), orphan, true
+	case key > hk:
+		nr, orphan, found := deleteHead(n.right, key)
+		if !found {
+			return n, nil, false
+		}
+		return mk(n.left, n.head, n.chunk, nr), orphan, true
+	default:
+		return merge(n.left, n.right), n.chunk, true
+	}
+}
+
+// appendToPred appends elems (all greater than every element at or below
+// the predecessor of key) to the chunk of the largest head smaller than
+// key. ok is false when no such head exists.
+func appendToPred(n *node, key uint32, elems []uint64) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	if Key(n.head) >= key {
+		nl, ok := appendToPred(n.left, key, elems)
+		if !ok {
+			return n, false
+		}
+		return &node{left: nl, right: n.right, head: n.head, chunk: n.chunk,
+			size: n.size + len(elems), pri: n.pri}, true
+	}
+	if nr, ok := appendToPred(n.right, key, elems); ok {
+		return &node{left: n.left, right: nr, head: n.head, chunk: n.chunk,
+			size: n.size + len(elems), pri: n.pri}, true
+	}
+	c := make([]uint64, 0, len(n.chunk)+len(elems))
+	c = append(c, n.chunk...)
+	c = append(c, elems...)
+	return &node{left: n.left, right: n.right, head: n.head, chunk: c,
+		size: n.size + len(elems), pri: n.pri}, true
+}
+
+// RemoveBatch removes every key in keys, returning the tree and the
+// number of elements actually removed.
+func (t Tree) RemoveBatch(keys []uint32) (Tree, int) {
+	removed := 0
+	for _, k := range keys {
+		var ok bool
+		if t, ok = t.Remove(k); ok {
+			removed++
+		}
+	}
+	return t, removed
+}

@@ -1,0 +1,188 @@
+package ctree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tripoline/internal/xrand"
+)
+
+func TestRemoveSimple(t *testing.T) {
+	tr := Empty()
+	for k := uint32(0); k < 100; k++ {
+		tr = tr.Insert(Elem(k, k))
+	}
+	for k := uint32(0); k < 100; k += 2 {
+		var ok bool
+		tr, ok = tr.Remove(k)
+		if !ok {
+			t.Fatalf("Remove(%d) found nothing", k)
+		}
+	}
+	if tr.Size() != 50 {
+		t.Fatalf("Size=%d", tr.Size())
+	}
+	for k := uint32(0); k < 100; k++ {
+		_, found := tr.Find(k)
+		if (k%2 == 0) == found {
+			t.Fatalf("key %d: found=%v", k, found)
+		}
+	}
+}
+
+func TestRemoveAbsent(t *testing.T) {
+	tr := Empty().Insert(Elem(5, 5))
+	tr2, ok := tr.Remove(99)
+	if ok {
+		t.Fatal("removed absent key")
+	}
+	if tr2.Size() != 1 {
+		t.Fatal("size changed on failed remove")
+	}
+	if _, ok := Empty().Remove(1); ok {
+		t.Fatal("removed from empty tree")
+	}
+}
+
+func TestRemoveIsPersistent(t *testing.T) {
+	base := Empty()
+	for k := uint32(0); k < 300; k++ {
+		base = base.Insert(Elem(k, k))
+	}
+	derived, _ := base.Remove(150)
+	if base.Size() != 300 {
+		t.Fatal("base mutated by Remove")
+	}
+	if _, ok := base.Find(150); !ok {
+		t.Fatal("base lost element")
+	}
+	if _, ok := derived.Find(150); ok {
+		t.Fatal("derived kept element")
+	}
+}
+
+func TestRemoveAllThenReinsert(t *testing.T) {
+	rng := xrand.New(31)
+	keys := rng.Perm(500)
+	tr := Empty()
+	for _, k := range keys {
+		tr = tr.Insert(Elem(uint32(k), uint32(k)))
+	}
+	rng.ShuffleInts(keys)
+	for _, k := range keys {
+		var ok bool
+		tr, ok = tr.Remove(uint32(k))
+		if !ok {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("Size=%d after removing all", tr.Size())
+	}
+	// The emptied tree is fully reusable.
+	tr = tr.Insert(Elem(7, 7))
+	if e, ok := tr.Find(7); !ok || Payload(e) != 7 {
+		t.Fatal("reinsert after drain failed")
+	}
+}
+
+func TestRemoveRebuildsChunksCorrectly(t *testing.T) {
+	// Removing a head must migrate its chunk to the predecessor (or the
+	// prefix) without losing order. Verify via full traversal order after
+	// deleting every key one at a time in a fresh copy.
+	tr := Empty()
+	const n = 600
+	for k := uint32(0); k < n; k++ {
+		tr = tr.Insert(Elem(k, k))
+	}
+	for k := uint32(0); k < n; k += 17 {
+		d, ok := tr.Remove(k)
+		if !ok {
+			t.Fatalf("Remove(%d)", k)
+		}
+		prev := int64(-1)
+		count := 0
+		d.ForEach(func(e uint64) {
+			if int64(Key(e)) <= prev {
+				t.Fatalf("order broken after removing %d: %d after %d", k, Key(e), prev)
+			}
+			if Key(e) == k {
+				t.Fatalf("removed key %d still present", k)
+			}
+			prev = int64(Key(e))
+			count++
+		})
+		if count != n-1 {
+			t.Fatalf("traversal count %d after removing %d", count, k)
+		}
+	}
+}
+
+func TestRemoveBatch(t *testing.T) {
+	tr := Empty()
+	for k := uint32(0); k < 50; k++ {
+		tr = tr.Insert(Elem(k, k))
+	}
+	tr2, removed := tr.RemoveBatch([]uint32{1, 2, 3, 999})
+	if removed != 3 {
+		t.Fatalf("removed=%d", removed)
+	}
+	if tr2.Size() != 47 {
+		t.Fatalf("Size=%d", tr2.Size())
+	}
+}
+
+// TestInsertRemoveQuickModel runs random interleaved inserts and removes
+// against a map model.
+func TestInsertRemoveQuickModel(t *testing.T) {
+	f := func(ops []uint32) bool {
+		tr := Empty()
+		m := map[uint32]uint32{}
+		for i, op := range ops {
+			k := op % 256
+			if op%3 == 0 {
+				var ok bool
+				tr, ok = tr.Remove(k)
+				_, inModel := m[k]
+				if ok != inModel {
+					return false
+				}
+				delete(m, k)
+			} else {
+				tr = tr.Insert(Elem(k, uint32(i)))
+				m[k] = uint32(i)
+			}
+		}
+		if tr.Size() != len(m) {
+			return false
+		}
+		for k, p := range m {
+			e, ok := tr.Find(k)
+			if !ok || Payload(e) != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoveShapeHistoryIndependence: removing then reinserting an
+// element must restore the exact shape (history independence extends to
+// deletions).
+func TestRemoveShapeHistoryIndependence(t *testing.T) {
+	tr := Empty()
+	for k := uint32(0); k < 400; k++ {
+		tr = tr.Insert(Elem(k, k))
+	}
+	want := tr.Shape()
+	for _, k := range []uint32{0, 33, 128, 399} {
+		d, _ := tr.Remove(k)
+		d = d.Insert(Elem(k, k))
+		if got := d.Shape(); got != want {
+			t.Fatalf("shape after remove+reinsert %d: %+v, want %+v", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package dd is a compact differential-dataflow-style incremental engine,
+// built to reproduce §6.5 of the Tripoline paper: the integration of the
+// triangle-inequality optimization into a general-purpose streaming
+// dataflow (the paper used Differential Dataflow with shared
+// arrangements, "DD-SA").
+//
+// The package models the pieces of DD that the experiment exercises:
+//
+//   - Collections of keyed records with multiplicities;
+//   - Arrangements: indexed state over the edge stream that is built once
+//     and *shared* by every query through import handles (McSherry et
+//     al.'s shared arrangements — the DD-SA baseline);
+//   - the operators join_map, filter, concat, and reduce, assembled into
+//     the iterate-until-fixpoint dataflow that graph queries compile to;
+//   - an instrumented reduce whose invocation count is the work metric of
+//     Table 8.
+//
+// The triangle-inequality optimization (DD-SA-Tri) is exactly the paper's
+// integration: a *filter* operator inserted before reduce that drops
+// candidate values no better than the Δ(u,r) bound obtained from a
+// standing query, with the bounds also seeding the value collection; all
+// other operators are untouched.
+package dd
+
+import (
+	"sort"
+	"sync"
+
+	"tripoline/internal/engine"
+	"tripoline/internal/graph"
+)
+
+// Record is one weighted update in a collection: a key (vertex), a value,
+// and a multiplicity (diff). Graph query dataflows here only use diff +1,
+// but the type keeps the DD shape.
+type Record struct {
+	Key  graph.VertexID
+	Val  uint64
+	Diff int32
+}
+
+// Collection is a batch of records flowing between operators.
+type Collection []Record
+
+// arc is one indexed edge.
+type arc struct {
+	dst graph.VertexID
+	w   graph.Weight
+}
+
+// Arrangement is indexed state over the edge stream: src → sorted arcs.
+// One arrangement is built per input stream and shared by all queries via
+// Import; without sharing, every query would maintain its own index (the
+// pre-shared-arrangements DD the paper contrasts against).
+type Arrangement struct {
+	mu        sync.RWMutex
+	adj       [][]arc
+	importers int
+	edges     int64
+}
+
+// Arrange builds an arrangement over n vertices from an edge list.
+// directed=false mirrors each edge, as in the rest of the system.
+func Arrange(n int, edges []graph.Edge, directed bool) *Arrangement {
+	a := &Arrangement{adj: make([][]arc, n)}
+	a.InsertEdges(edges, directed)
+	return a
+}
+
+// InsertEdges appends a batch of edge insertions to the arrangement
+// (the update stream of the DD input). Re-inserting an existing arc is a
+// no-op — the same grow-only, first-wins rule as the native streaming
+// engine, so both substrates index identical graphs from one edge list.
+func (a *Arrangement) InsertEdges(batch []graph.Edge, directed bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	grow := func(v graph.VertexID) {
+		for int(v) >= len(a.adj) {
+			a.adj = append(a.adj, nil)
+		}
+	}
+	addArc := func(s, d graph.VertexID, w graph.Weight) {
+		for _, e := range a.adj[s] {
+			if e.dst == d {
+				return
+			}
+		}
+		a.adj[s] = append(a.adj[s], arc{d, w})
+		a.edges++
+	}
+	for _, e := range batch {
+		grow(e.Src)
+		grow(e.Dst)
+		addArc(e.Src, e.Dst, e.W)
+		if !directed {
+			addArc(e.Dst, e.Src, e.W)
+		}
+	}
+}
+
+// NumVertices returns the indexed key space size.
+func (a *Arrangement) NumVertices() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.adj)
+}
+
+// NumEdges returns the number of indexed arcs.
+func (a *Arrangement) NumEdges() int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.edges
+}
+
+// Handle is an import of a shared arrangement into one query's dataflow.
+type Handle struct {
+	a *Arrangement
+}
+
+// Import registers a new reader of the arrangement. The importer count
+// exists to demonstrate sharing; it has no behavioral effect.
+func (a *Arrangement) Import() *Handle {
+	a.mu.Lock()
+	a.importers++
+	a.mu.Unlock()
+	return &Handle{a: a}
+}
+
+// Importers returns how many dataflows share this arrangement.
+func (a *Arrangement) Importers() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.importers
+}
+
+// Stats counts operator work in one dataflow execution.
+type Stats struct {
+	ReduceOps   int64 // reduce invocations (distinct keys reduced), Table 8's metric
+	JoinOutputs int64 // records produced by join_map
+	Filtered    int64 // records dropped by the triangle filter
+	Rounds      int   // fixpoint iterations
+}
+
+// TriFilter is the triangle-inequality filter of §6.5: it retains a
+// candidate (x, v) only when v is strictly better than the Δ(u,r)[x]
+// bound. Bound must also seed the value state (Iterate does this), which
+// keeps dropping such candidates semantics-preserving: the bound they
+// cannot beat is already in the collection.
+type TriFilter struct {
+	P     engine.Problem
+	Bound []uint64
+}
+
+// Keep reports whether the candidate passes the filter.
+func (f *TriFilter) Keep(r Record) bool {
+	if int(r.Key) >= len(f.Bound) {
+		return true
+	}
+	return f.P.Better(r.Val, f.Bound[r.Key])
+}
+
+// Result is the outcome of one query dataflow.
+type Result struct {
+	Values []uint64 // converged value per key (init value if never reduced)
+	Stats  Stats
+}
+
+// Iterate runs the canonical DD graph-query dataflow to fixpoint:
+//
+//	values  := seed
+//	loop {
+//	  cand   := join_map(changed, edges)    // relax along arcs
+//	  cand   := filter(cand)                // triangle filter (Tri only)
+//	  merged := reduce_best(concat(values, cand))
+//	  changed = keys whose value improved
+//	} until changed is empty
+//
+// p supplies the relax/compare logic (the same Problem implementations
+// the native engine uses). src is the query source; tri, when non-nil,
+// enables the triangle optimization: its bounds seed values and its
+// filter prunes candidates.
+func Iterate(h *Handle, p engine.Problem, src graph.VertexID, tri *TriFilter) *Result {
+	a := h.a
+	a.mu.RLock()
+	n := len(a.adj)
+	a.mu.RUnlock()
+
+	vals := make([]uint64, n)
+	init := p.InitValue()
+	for i := range vals {
+		vals[i] = init
+	}
+	if tri != nil {
+		// Seed with the Δ bounds (valid upper bounds on the fixpoint).
+		for i := 0; i < n && i < len(tri.Bound); i++ {
+			vals[i] = tri.Bound[i]
+		}
+	}
+	var changed Collection
+	if int(src) < n {
+		vals[src] = p.SourceValue()
+		changed = Collection{{Key: src, Val: p.SourceValue(), Diff: 1}}
+	}
+	return iterate(h, p, vals, changed, tri)
+}
+
+// Resume re-stabilizes a previously converged query after edge
+// insertions: prior holds the old fixpoint (it is extended with init
+// values if the arrangement grew) and changedSources are the sources of
+// the newly inserted arcs. This is the classic incremental maintenance
+// DD performs per update batch — valid for grow-only streams, where old
+// values remain sound upper bounds.
+//
+// When tri is non-nil, its bounds (computed on the *current* graph) are
+// merged into the seed values: any vertex the bound improves is seeded
+// with the bound and re-activated, which both preserves the filter's
+// invariant (no candidate is dropped unless a value at least as good is
+// already in the collection) and lets bound-driven improvements
+// propagate.
+func Resume(h *Handle, p engine.Problem, prior []uint64, changedSources []graph.VertexID, tri *TriFilter) *Result {
+	h.a.mu.RLock()
+	n := len(h.a.adj)
+	h.a.mu.RUnlock()
+
+	vals := make([]uint64, n)
+	copy(vals, prior)
+	for i := len(prior); i < n; i++ {
+		vals[i] = p.InitValue()
+	}
+	changed := make(Collection, 0, len(changedSources))
+	seeded := make(map[graph.VertexID]bool, len(changedSources))
+	if tri != nil {
+		for x := 0; x < n && x < len(tri.Bound); x++ {
+			if p.Better(tri.Bound[x], vals[x]) {
+				vals[x] = tri.Bound[x]
+				changed = append(changed, Record{Key: graph.VertexID(x), Val: vals[x], Diff: 1})
+				seeded[graph.VertexID(x)] = true
+			}
+		}
+	}
+	for _, s := range changedSources {
+		if int(s) < n && !seeded[s] {
+			changed = append(changed, Record{Key: s, Val: vals[s], Diff: 1})
+		}
+	}
+	return iterate(h, p, vals, changed, tri)
+}
+
+// iterate runs the shared fixpoint loop over pre-seeded values.
+func iterate(h *Handle, p engine.Problem, vals []uint64, changed Collection, tri *TriFilter) *Result {
+	a := h.a
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+
+	res := &Result{Values: vals}
+	// candBuf groups candidates by key between join and reduce.
+	for len(changed) > 0 {
+		res.Stats.Rounds++
+		// join_map: each changed (x, v) joins the arrangement on x and
+		// maps to candidate (y, relax(v, w)).
+		var cand Collection
+		for _, r := range changed {
+			for _, e := range a.adj[r.Key] {
+				nv, ok := p.Relax(r.Val, e.w)
+				if !ok {
+					continue
+				}
+				res.Stats.JoinOutputs++
+				rec := Record{Key: e.dst, Val: nv, Diff: 1}
+				if tri != nil && !tri.Keep(rec) {
+					res.Stats.Filtered++
+					continue
+				}
+				cand = append(cand, rec)
+			}
+		}
+		// reduce: group candidates by key, fold each group with the
+		// current value. One invocation per distinct key with input.
+		sort.Slice(cand, func(i, j int) bool { return cand[i].Key < cand[j].Key })
+		changed = changed[:0]
+		for i := 0; i < len(cand); {
+			j := i
+			key := cand[i].Key
+			best := vals[key]
+			for ; j < len(cand) && cand[j].Key == key; j++ {
+				if p.Better(cand[j].Val, best) {
+					best = cand[j].Val
+				}
+			}
+			res.Stats.ReduceOps++
+			if p.Better(best, vals[key]) {
+				vals[key] = best
+				changed = append(changed, Record{Key: key, Val: best, Diff: 1})
+			}
+			i = j
+		}
+	}
+	return res
+}

@@ -1,0 +1,151 @@
+package dd_test
+
+import (
+	"testing"
+
+	"tripoline/internal/dd"
+	"tripoline/internal/engine"
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/oracle"
+	"tripoline/internal/props"
+	"tripoline/internal/triangle"
+)
+
+func arrangeRandom(n, m int, directed bool, seed uint64) (*dd.Arrangement, *graph.CSR) {
+	edges := gen.Uniform(n, m, 16, seed)
+	return dd.Arrange(n, edges, directed), graph.FromEdges(n, edges, directed)
+}
+
+func TestArrangeCounts(t *testing.T) {
+	// The arrangement applies the same first-wins dedup rule as the CSR
+	// loader, so both index the identical arc set.
+	a, csr := arrangeRandom(50, 400, true, 1)
+	if a.NumVertices() < 50 || a.NumEdges() != csr.NumEdges() {
+		t.Fatalf("n=%d m=%d, want m=%d", a.NumVertices(), a.NumEdges(), csr.NumEdges())
+	}
+	b, csrU := arrangeRandom(50, 400, false, 1)
+	if b.NumEdges() != csrU.NumEdges() {
+		t.Fatalf("undirected m=%d, want %d", b.NumEdges(), csrU.NumEdges())
+	}
+}
+
+func TestImportSharing(t *testing.T) {
+	a, _ := arrangeRandom(20, 100, true, 2)
+	h1 := a.Import()
+	h2 := a.Import()
+	if a.Importers() != 2 {
+		t.Fatalf("importers=%d", a.Importers())
+	}
+	// Both handles compute over the same indexed state.
+	r1 := dd.Iterate(h1, props.BFS{}, 0, nil)
+	r2 := dd.Iterate(h2, props.BFS{}, 0, nil)
+	for i := range r1.Values {
+		if r1.Values[i] != r2.Values[i] {
+			t.Fatal("shared handles disagree")
+		}
+	}
+}
+
+func TestIterateMatchesOracle(t *testing.T) {
+	for _, p := range []engine.Problem{props.BFS{}, props.SSSP{}, props.SSWP{}} {
+		a, csr := arrangeRandom(120, 1000, true, 3)
+		res := dd.Iterate(a.Import(), p, 7, nil)
+		want := oracle.BestPath(csr, p, 7)
+		for v := range want {
+			if res.Values[v] != want[v] {
+				t.Fatalf("%s: value[%d]=%d, want %d", p.Name(), v, res.Values[v], want[v])
+			}
+		}
+		if res.Stats.ReduceOps == 0 || res.Stats.Rounds == 0 {
+			t.Fatalf("%s: no work recorded: %+v", p.Name(), res.Stats)
+		}
+	}
+}
+
+func TestTriFilterPreservesResults(t *testing.T) {
+	// DD-SA-Tri must produce identical values to DD-SA, for every problem
+	// and several (u, r) pairs.
+	for _, p := range []engine.Problem{props.BFS{}, props.SSSP{}, props.SSWP{}} {
+		a, csr := arrangeRandom(140, 1200, false, 5)
+		for _, pair := range [][2]graph.VertexID{{11, 0}, {60, 99}} {
+			u, r := pair[0], pair[1]
+			standing := oracle.BestPath(csr, p, r)
+			bound := triangle.DeltaInit(p, u, standing[u], standing)
+
+			plain := dd.Iterate(a.Import(), p, u, nil)
+			tri := dd.Iterate(a.Import(), p, u, &dd.TriFilter{P: p, Bound: bound})
+			for v := range plain.Values {
+				if plain.Values[v] != tri.Values[v] {
+					t.Fatalf("%s u=%d r=%d: tri value[%d]=%d, plain=%d",
+						p.Name(), u, r, v, tri.Values[v], plain.Values[v])
+				}
+			}
+		}
+	}
+}
+
+func TestTriFilterReducesReduceOps(t *testing.T) {
+	// The Table 8 effect: for SSSP and SSWP the filter must cut reduce
+	// invocations substantially; BFS sees little change.
+	a, csr := arrangeRandom(400, 5000, false, 7)
+	u, r := graph.VertexID(13), graph.VertexID(2)
+	for _, tc := range []struct {
+		p        engine.Problem
+		minRatio float64 // plain/tri reduce-op ratio must exceed this
+	}{
+		{props.SSSP{}, 1.2},
+		{props.SSWP{}, 1.5},
+	} {
+		standing := oracle.BestPath(csr, tc.p, r)
+		bound := triangle.DeltaInit(tc.p, u, standing[u], standing)
+		plain := dd.Iterate(a.Import(), tc.p, u, nil)
+		tri := dd.Iterate(a.Import(), tc.p, u, &dd.TriFilter{P: tc.p, Bound: bound})
+		if tri.Stats.Filtered == 0 {
+			t.Fatalf("%s: filter dropped nothing", tc.p.Name())
+		}
+		ratio := float64(plain.Stats.ReduceOps) / float64(max(tri.Stats.ReduceOps, 1))
+		if ratio < tc.minRatio {
+			t.Fatalf("%s: reduce-op ratio %.2f below %.2f (plain %d, tri %d)",
+				tc.p.Name(), ratio, tc.minRatio, plain.Stats.ReduceOps, tri.Stats.ReduceOps)
+		}
+	}
+}
+
+func TestInsertEdgesThenIterate(t *testing.T) {
+	// Arrangements accept streamed updates; queries see the union.
+	a := dd.Arrange(5, []graph.Edge{{Src: 0, Dst: 1, W: 1}}, true)
+	a.InsertEdges([]graph.Edge{{Src: 1, Dst: 2, W: 1}, {Src: 2, Dst: 3, W: 1}}, true)
+	res := dd.Iterate(a.Import(), props.BFS{}, 0, nil)
+	want := []uint64{0, 1, 2, 3, props.Unreached}
+	for v := range want {
+		if res.Values[v] != want[v] {
+			t.Fatalf("level[%d]=%d, want %d", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestArrangementGrowsVertices(t *testing.T) {
+	a := dd.Arrange(2, nil, true)
+	a.InsertEdges([]graph.Edge{{Src: 0, Dst: 9, W: 1}}, true)
+	if a.NumVertices() != 10 {
+		t.Fatalf("n=%d", a.NumVertices())
+	}
+}
+
+func TestTriFilterKeep(t *testing.T) {
+	f := &dd.TriFilter{P: props.SSSP{}, Bound: []uint64{10}}
+	if !f.Keep(dd.Record{Key: 0, Val: 5, Diff: 1}) {
+		t.Fatal("better candidate filtered")
+	}
+	if f.Keep(dd.Record{Key: 0, Val: 10, Diff: 1}) {
+		t.Fatal("equal candidate kept")
+	}
+	if f.Keep(dd.Record{Key: 0, Val: 11, Diff: 1}) {
+		t.Fatal("worse candidate kept")
+	}
+	// Keys beyond the bound array pass through.
+	if !f.Keep(dd.Record{Key: 7, Val: 999, Diff: 1}) {
+		t.Fatal("out-of-range key filtered")
+	}
+}

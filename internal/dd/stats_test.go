@@ -1,0 +1,74 @@
+package dd_test
+
+import (
+	"testing"
+
+	"tripoline/internal/dd"
+	"tripoline/internal/graph"
+	"tripoline/internal/props"
+)
+
+func TestIterateStatsAccounting(t *testing.T) {
+	// Path 0→1→2: BFS does one join output per arc, one reduce per
+	// reached key, one round per level plus the final empty round check.
+	a := dd.Arrange(3, []graph.Edge{{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 2, W: 1}}, true)
+	res := dd.Iterate(a.Import(), props.BFS{}, 0, nil)
+	if res.Stats.JoinOutputs != 2 {
+		t.Fatalf("join outputs %d, want 2", res.Stats.JoinOutputs)
+	}
+	if res.Stats.ReduceOps != 2 {
+		t.Fatalf("reduce ops %d, want 2", res.Stats.ReduceOps)
+	}
+	if res.Stats.Rounds != 3 { // two productive rounds + one that drains
+		t.Fatalf("rounds %d, want 3", res.Stats.Rounds)
+	}
+	if res.Stats.Filtered != 0 {
+		t.Fatalf("filtered %d without a filter", res.Stats.Filtered)
+	}
+}
+
+func TestIterateEmptyArrangement(t *testing.T) {
+	a := dd.Arrange(4, nil, true)
+	res := dd.Iterate(a.Import(), props.SSSP{}, 2, nil)
+	if res.Values[2] != 0 {
+		t.Fatal("source value missing")
+	}
+	for v, val := range res.Values {
+		if v != 2 && val != props.Unreached {
+			t.Fatalf("vertex %d reached with no edges", v)
+		}
+	}
+	if res.Stats.ReduceOps != 0 {
+		t.Fatal("reduces on an empty graph")
+	}
+}
+
+func TestIterateSourceOutOfRange(t *testing.T) {
+	a := dd.Arrange(2, []graph.Edge{{Src: 0, Dst: 1, W: 1}}, true)
+	// Source beyond the key space: no values change, no panic.
+	res := dd.Iterate(a.Import(), props.BFS{}, 9, nil)
+	for _, v := range res.Values {
+		if v != props.Unreached {
+			t.Fatal("out-of-range source produced values")
+		}
+	}
+}
+
+func TestFilteredCounter(t *testing.T) {
+	// Bound equal to the fixpoint everywhere: every candidate is dropped.
+	a := dd.Arrange(3, []graph.Edge{{Src: 0, Dst: 1, W: 2}, {Src: 1, Dst: 2, W: 2}}, true)
+	plain := dd.Iterate(a.Import(), props.SSSP{}, 0, nil)
+	tri := dd.Iterate(a.Import(), props.SSSP{}, 0,
+		&dd.TriFilter{P: props.SSSP{}, Bound: plain.Values})
+	if tri.Stats.Filtered == 0 {
+		t.Fatal("nothing filtered with exact bounds")
+	}
+	if tri.Stats.ReduceOps != 0 {
+		t.Fatalf("reduces %d with exact bounds, want 0", tri.Stats.ReduceOps)
+	}
+	for v := range plain.Values {
+		if tri.Values[v] != plain.Values[v] {
+			t.Fatalf("values differ at %d", v)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package engine_test
+
+import (
+	"testing"
+
+	"tripoline/internal/engine"
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/oracle"
+	"tripoline/internal/props"
+)
+
+// star builds a hub with n-1 leaves — one BFS iteration activates the
+// entire graph at once, forcing the dense frontier representation.
+func star(n int) *graph.CSR {
+	edges := make([]graph.Edge, 0, 2*(n-1))
+	for v := graph.VertexID(1); int(v) < n; v++ {
+		edges = append(edges,
+			graph.Edge{Src: 0, Dst: v, W: 1},
+			graph.Edge{Src: v, Dst: 0, W: 1})
+	}
+	return graph.FromEdges(n, edges, true)
+}
+
+func TestDenseFrontierStarGraph(t *testing.T) {
+	g := star(10_000)
+	st, stats := engine.Run(g, props.BFS{}, []graph.VertexID{0})
+	if st.Values[0] != 0 {
+		t.Fatal("source level wrong")
+	}
+	for v := 1; v < g.N; v++ {
+		if st.Values[v] != 1 {
+			t.Fatalf("leaf %d level %d", v, st.Values[v])
+		}
+	}
+	// One iteration for the hub, one for the (dense) leaf frontier.
+	if stats.Iterations != 2 {
+		t.Fatalf("iterations=%d, want 2", stats.Iterations)
+	}
+	if stats.Activations != int64(g.N) {
+		t.Fatalf("activations=%d, want %d", stats.Activations, g.N)
+	}
+}
+
+// TestDenseSparseEquivalence compares engine results on graphs whose
+// frontier oscillates across the density threshold against the oracle.
+func TestDenseSparseEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4} {
+		cfg := gen.Config{Name: "d", LogN: 12, AvgDegree: 14, Directed: false, Seed: seed}
+		g := graph.FromEdges(cfg.N(), gen.RMAT(cfg), false)
+		for name, p := range props.Registry() {
+			st, _ := engine.Run(g, p, []graph.VertexID{1})
+			want := oracle.BestPath(g, p, 1)
+			for v := range want {
+				if st.Values[v] != want[v] {
+					t.Fatalf("%s seed=%d: dense/sparse run wrong at %d", name, seed, v)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineDeterminism: the converged values must be identical across
+// repeated parallel runs (the schedule varies; the fixpoint must not).
+func TestEngineDeterminism(t *testing.T) {
+	cfg := gen.Config{Name: "d", LogN: 12, AvgDegree: 14, Directed: true, Seed: 9}
+	g := graph.FromEdges(cfg.N(), gen.RMAT(cfg), true)
+	ref, _ := engine.Run(g, props.SSSP{}, []graph.VertexID{5})
+	for rep := 0; rep < 5; rep++ {
+		st, _ := engine.Run(g, props.SSSP{}, []graph.VertexID{5})
+		for v := range ref.Values {
+			if st.Values[v] != ref.Values[v] {
+				t.Fatalf("rep %d: nondeterministic value at %d", rep, v)
+			}
+		}
+	}
+}
+
+// TestDenseModeWithBatchMasks runs a K-wide dense-frontier evaluation
+// and checks each slot independently.
+func TestDenseModeWithBatchMasks(t *testing.T) {
+	g := star(5_000)
+	sources := []graph.VertexID{0, 1, 2, 3}
+	st, _ := engine.Run(g, props.BFS{}, sources)
+	for k, src := range sources {
+		want := oracle.BestPath(g, props.BFS{}, src)
+		for v := 0; v < g.N; v++ {
+			if st.Value(graph.VertexID(v), k) != want[v] {
+				t.Fatalf("slot %d vertex %d wrong", k, v)
+			}
+		}
+	}
+}

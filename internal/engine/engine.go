@@ -1,0 +1,377 @@
+// Package engine implements Tripoline's vertex-centric evaluation runtime:
+// a frontier-based push-model engine, a dense pull-model engine for
+// reversed queries on directed graphs (the dual-model evaluation of §4.2),
+// and a K-wide batch mode that evaluates up to 64 queries of the same type
+// simultaneously under one combined frontier (§4.5).
+//
+// Vertex values are encoded uint64s (see package props for the encodings).
+// Relaxations use compare-and-swap "improve-or-retry" loops, which is
+// precisely the monotonic, async-safe vertex-function contract that
+// Theorem 4.4 of the paper requires for Δ-based incremental evaluation to
+// be correct.
+package engine
+
+import (
+	"sync/atomic"
+
+	"tripoline/internal/bitset"
+	"tripoline/internal/graph"
+	"tripoline/internal/parallel"
+)
+
+// View is the read-only graph interface the engine evaluates over. Both
+// *streamgraph.Snapshot and *graph.CSR satisfy it.
+type View interface {
+	NumVertices() int
+	Degree(v graph.VertexID) int
+	ForEachOut(v graph.VertexID, f func(dst graph.VertexID, w graph.Weight))
+}
+
+// Problem defines one vertex-specific graph problem over encoded values.
+// Implementations must be monotonic (Relax never yields a value worse than
+// its input chain) and async-safe; all of package props' problems are.
+type Problem interface {
+	// Name identifies the problem (e.g. "SSSP").
+	Name() string
+	// InitValue is the default ("worst") value of an untouched vertex.
+	InitValue() uint64
+	// SourceValue is the value of the query's source vertex.
+	SourceValue() uint64
+	// Relax computes the candidate value a vertex with value srcVal
+	// propagates to a neighbor across an edge of weight w. ok=false means
+	// nothing propagates (e.g. srcVal is still the init value).
+	Relax(srcVal uint64, w graph.Weight) (cand uint64, ok bool)
+	// Better reports whether a is strictly better than b (a ≺ b).
+	Better(a, b uint64) bool
+	// Combine is the ⊕ operator of the graph triangle inequality
+	// (Definition 3.1). It must satisfy
+	//   Better(property(u,x), Combine(property(u,r), property(r,x)))
+	//   or equal, for all u, r, x.
+	Combine(a, b uint64) uint64
+}
+
+// Stats accumulates work counters for one evaluation. Activations is the
+// number of vertex-function evaluations (per active (vertex, query) pair),
+// the numerator/denominator of the activation ratio R_act (Eq. 11).
+type Stats struct {
+	Activations int64
+	Relaxations int64 // edge relaxations attempted
+	Updates     int64 // relaxations that changed a value
+	Iterations  int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Activations += other.Activations
+	s.Relaxations += other.Relaxations
+	s.Updates += other.Updates
+	s.Iterations += other.Iterations
+}
+
+// State is a K-wide evaluation state: for each vertex v and query slot
+// k < K, Values[v*K+k] is the encoded value of v under query k. State is
+// the persistent artifact of standing queries: it survives across graph
+// updates and is resumed incrementally.
+type State struct {
+	P      Problem
+	K      int
+	N      int
+	Values []uint64 // len N*K, stride K
+}
+
+// NewState allocates a state with every value at the problem's init value.
+func NewState(p Problem, n, k int) *State {
+	if k < 1 || k > 64 {
+		panic("engine: K must be in [1,64]")
+	}
+	st := &State{P: p, K: k, N: n, Values: make([]uint64, n*k)}
+	init := p.InitValue()
+	parallel.For(n*k, func(i int) { st.Values[i] = init })
+	return st
+}
+
+// Value returns the value of vertex v under query slot k.
+func (st *State) Value(v graph.VertexID, k int) uint64 {
+	return st.Values[int(v)*st.K+k]
+}
+
+// SetSource initializes slot k's source vertex.
+func (st *State) SetSource(v graph.VertexID, k int) {
+	st.Values[int(v)*st.K+k] = st.P.SourceValue()
+}
+
+// Column copies slot k's values into a fresh []uint64 of length N.
+func (st *State) Column(k int) []uint64 {
+	out := make([]uint64, st.N)
+	parallel.For(st.N, func(v int) { out[v] = st.Values[v*st.K+k] })
+	return out
+}
+
+// Clone returns a deep copy of the state (used to snapshot standing-query
+// results before speculative work).
+func (st *State) Clone() *State {
+	out := &State{P: st.P, K: st.K, N: st.N, Values: make([]uint64, len(st.Values))}
+	copy(out.Values, st.Values)
+	return out
+}
+
+// Grow extends the state to n vertices (new vertices at init value).
+func (st *State) Grow(n int) {
+	if n <= st.N {
+		return
+	}
+	vals := make([]uint64, n*st.K)
+	copy(vals, st.Values)
+	init := st.P.InitValue()
+	for i := st.N * st.K; i < len(vals); i++ {
+		vals[i] = init
+	}
+	st.N = n
+	st.Values = vals
+}
+
+// frontier pairs the sparse active list with the per-vertex query masks.
+type frontier struct {
+	verts []graph.VertexID
+	masks []uint64 // active query bitmask per vertex, stride 1 over all N
+}
+
+// denseFraction controls the Ligra-style frontier representation switch:
+// when more than n/denseFraction vertices are active, the engine skips
+// materializing the sparse active list and sweeps all vertices checking
+// their masks — cheaper and more cache-friendly for the huge mid-BFS
+// frontiers of power-law graphs.
+const denseFraction = 16
+
+// RunPush evaluates the state to convergence with the push model, starting
+// from the given seed vertices with the given per-seed active masks
+// (bit k set = query slot k active at that seed). Values must already hold
+// the desired initial values — callers choose between full evaluation
+// (init values + sources), Δ-based initialization, or resumed incremental
+// state. Returns work statistics.
+func (st *State) RunPush(g View, seeds []graph.VertexID, seedMasks []uint64) Stats {
+	n := g.NumVertices()
+	if n > st.N {
+		st.Grow(n)
+	}
+	var stats Stats
+	cur := frontier{masks: make([]uint64, st.N)}
+	nextMasks := make([]uint64, st.N)
+	inNext := bitset.NewAtomic(st.N)
+
+	for i, v := range seeds {
+		m := seedMasks[i]
+		if m == 0 {
+			continue
+		}
+		if cur.masks[v] == 0 {
+			cur.verts = append(cur.verts, v)
+		}
+		cur.masks[v] |= m
+	}
+
+	K := st.K
+	p := st.P
+	var acts, relax, upd atomic.Int64
+	process := func(u graph.VertexID) {
+		mask := cur.masks[u]
+		if mask == 0 {
+			return
+		}
+		acts.Add(int64(popcount(mask)))
+		base := int(u) * K
+		var r, w int64
+		g.ForEachOut(u, func(d graph.VertexID, wgt graph.Weight) {
+			dbase := int(d) * K
+			for m := mask; m != 0; m &= m - 1 {
+				k := trailing(m)
+				srcVal := atomic.LoadUint64(&st.Values[base+k])
+				cand, ok := p.Relax(srcVal, wgt)
+				if !ok {
+					continue
+				}
+				r++
+				if casImprove(&st.Values[dbase+k], cand, p) {
+					w++
+					markActive(nextMasks, inNext, d, k)
+				}
+			}
+		})
+		relax.Add(r)
+		upd.Add(w)
+	}
+
+	dense := false
+	active := len(cur.verts)
+	for active > 0 {
+		stats.Iterations++
+		if dense {
+			parallel.ForGrain(n, 128, func(v int) { process(graph.VertexID(v)) })
+			// Clear all masks we might have set (dense: unknown members).
+			parallel.For(n, func(v int) { cur.masks[v] = 0 })
+		} else {
+			parallel.ForGrain(len(cur.verts), 64, func(i int) { process(cur.verts[i]) })
+			for _, v := range cur.verts {
+				cur.masks[v] = 0
+			}
+		}
+		// Swap frontiers. Above the density threshold the next round
+		// sweeps masks directly; below it, materialize the sparse list.
+		cur.verts = cur.verts[:0]
+		count := inNext.Count()
+		dense = count*denseFraction > n
+		if dense {
+			inNext.ForEach(func(v int) {
+				cur.masks[v] = atomic.LoadUint64(&nextMasks[v])
+				atomic.StoreUint64(&nextMasks[v], 0)
+			})
+		} else {
+			inNext.ForEach(func(v int) {
+				cur.verts = append(cur.verts, graph.VertexID(v))
+				cur.masks[v] = atomic.LoadUint64(&nextMasks[v])
+				atomic.StoreUint64(&nextMasks[v], 0)
+			})
+		}
+		inNext.Reset()
+		active = count
+	}
+	stats.Activations = acts.Load()
+	stats.Relaxations = relax.Load()
+	stats.Updates = upd.Load()
+	return stats
+}
+
+// markActive atomically ors query bit k into v's next-frontier mask and
+// registers v in the next frontier set.
+func markActive(masks []uint64, set *bitset.Atomic, v graph.VertexID, k int) {
+	addr := &masks[v]
+	bit := uint64(1) << uint(k)
+	for {
+		old := atomic.LoadUint64(addr)
+		if old&bit != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(addr, old, old|bit) {
+			break
+		}
+	}
+	set.Set(int(v))
+}
+
+// casImprove lowers (in the problem's order) *addr to cand, returning
+// whether the stored value changed.
+func casImprove(addr *uint64, cand uint64, p Problem) bool {
+	for {
+		old := atomic.LoadUint64(addr)
+		if !p.Better(cand, old) {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, cand) {
+			return true
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+func trailing(x uint64) int {
+	k := 0
+	for x&1 == 0 {
+		x >>= 1
+		k++
+	}
+	return k
+}
+
+// RunPull evaluates the state to convergence with the pull model: each
+// round, every vertex recomputes its value from its out-neighbors'
+// values. With property(x) interpreted as property(x, source), this
+// computes the reversed query q⁻¹ of §4.2 using only the out-edge
+// representation — the dual-model evaluation. Rounds repeat until a
+// fixpoint; each round counts one activation per (vertex, query) pair.
+//
+// Values must be pre-initialized (sources at SourceValue). The same entry
+// point also resumes incrementally: calling it on a converged state after
+// a graph update costs one verification round plus whatever changed.
+func (st *State) RunPull(g View, stats *Stats) {
+	n := g.NumVertices()
+	if n > st.N {
+		st.Grow(n)
+	}
+	K := st.K
+	p := st.P
+	for {
+		stats.Iterations++
+		var changed atomic.Bool
+		var acts, relax, upd atomic.Int64
+		parallel.ForGrain(n, 64, func(v int) {
+			base := v * K
+			var r, w int64
+			g.ForEachOut(graph.VertexID(v), func(d graph.VertexID, wgt graph.Weight) {
+				dbase := int(d) * K
+				for k := 0; k < K; k++ {
+					nv := atomic.LoadUint64(&st.Values[dbase+k])
+					cand, ok := p.Relax(nv, wgt)
+					if !ok {
+						continue
+					}
+					r++
+					if casImprove(&st.Values[base+k], cand, p) {
+						w++
+					}
+				}
+			})
+			acts.Add(int64(K))
+			relax.Add(r)
+			upd.Add(w)
+			if w > 0 {
+				changed.Store(true)
+			}
+		})
+		stats.Activations += acts.Load()
+		stats.Relaxations += relax.Load()
+		stats.Updates += upd.Load()
+		if !changed.Load() {
+			return
+		}
+	}
+}
+
+// Run performs a full (from-scratch) K-wide push evaluation with one
+// source per query slot. It is the non-incremental baseline of Table 3.
+func Run(g View, p Problem, sources []graph.VertexID) (*State, Stats) {
+	st := NewState(p, g.NumVertices(), len(sources))
+	seeds := make([]graph.VertexID, 0, len(sources))
+	masks := make([]uint64, 0, len(sources))
+	seen := make(map[graph.VertexID]int)
+	for k, s := range sources {
+		st.SetSource(s, k)
+		if i, ok := seen[s]; ok {
+			masks[i] |= 1 << uint(k)
+			continue
+		}
+		seen[s] = len(seeds)
+		seeds = append(seeds, s)
+		masks = append(masks, 1<<uint(k))
+	}
+	stats := st.RunPush(g, seeds, masks)
+	return st, stats
+}
+
+// RunReverse performs a full pull-model evaluation of the reversed query
+// q⁻¹(source): afterwards Value(x, k) = property(x, sources[k]).
+func RunReverse(g View, p Problem, sources []graph.VertexID) (*State, Stats) {
+	st := NewState(p, g.NumVertices(), len(sources))
+	for k, s := range sources {
+		st.SetSource(s, k)
+	}
+	var stats Stats
+	st.RunPull(g, &stats)
+	return st, stats
+}

@@ -1,0 +1,231 @@
+package engine_test
+
+import (
+	"testing"
+
+	"tripoline/internal/engine"
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/oracle"
+	"tripoline/internal/props"
+	"tripoline/internal/streamgraph"
+)
+
+func randomCSR(n, m int, directed bool, seed uint64) *graph.CSR {
+	return graph.FromEdges(n, gen.Uniform(n, m, 16, seed), directed)
+}
+
+func TestRunSSSPMatchesOracle(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		g := randomCSR(300, 2500, directed, 11)
+		for _, src := range []graph.VertexID{0, 7, 299} {
+			st, stats := engine.Run(g, props.SSSP{}, []graph.VertexID{src})
+			want := oracle.BestPath(g, props.SSSP{}, src)
+			for v := range want {
+				if st.Values[v] != want[v] {
+					t.Fatalf("directed=%v src=%d: dist[%d]=%d, want %d",
+						directed, src, v, st.Values[v], want[v])
+				}
+			}
+			if stats.Activations == 0 {
+				t.Fatal("no activations recorded")
+			}
+		}
+	}
+}
+
+func TestRunAllProblemsMatchOracle(t *testing.T) {
+	g := randomCSR(200, 1600, true, 23)
+	for name, p := range props.Registry() {
+		st, _ := engine.Run(g, p, []graph.VertexID{3})
+		want := oracle.BestPath(g, p, 3)
+		for v := range want {
+			if st.Values[v] != want[v] {
+				t.Fatalf("%s: value[%d]=%d, want %d", name, v, st.Values[v], want[v])
+			}
+		}
+	}
+}
+
+func TestRunOnGrid(t *testing.T) {
+	// A grid has known BFS levels: Manhattan distance from the corner.
+	n, edges := gen.Grid(5, 7, 1)
+	g := graph.FromEdges(n, edges, true)
+	st, _ := engine.Run(g, props.BFS{}, []graph.VertexID{0})
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 7; c++ {
+			v := r*7 + c
+			if st.Values[v] != uint64(r+c) {
+				t.Fatalf("level(%d,%d)=%d, want %d", r, c, st.Values[v], r+c)
+			}
+		}
+	}
+}
+
+func TestBatchEqualsSeparateRuns(t *testing.T) {
+	g := randomCSR(250, 2000, true, 31)
+	sources := []graph.VertexID{1, 2, 3, 10, 42, 100, 200, 249}
+	st, _ := engine.Run(g, props.SSSP{}, sources)
+	for k, src := range sources {
+		single, _ := engine.Run(g, props.SSSP{}, []graph.VertexID{src})
+		for v := 0; v < g.N; v++ {
+			if st.Value(graph.VertexID(v), k) != single.Values[v] {
+				t.Fatalf("batch slot %d vertex %d differs", k, v)
+			}
+		}
+	}
+}
+
+func TestDuplicateSourcesInBatch(t *testing.T) {
+	g := randomCSR(100, 600, true, 37)
+	st, _ := engine.Run(g, props.BFS{}, []graph.VertexID{5, 5, 9})
+	for v := 0; v < g.N; v++ {
+		if st.Value(graph.VertexID(v), 0) != st.Value(graph.VertexID(v), 1) {
+			t.Fatalf("duplicate source slots diverge at %d", v)
+		}
+	}
+}
+
+func TestRunReverseMatchesTransposeOracle(t *testing.T) {
+	g := randomCSR(200, 1500, true, 41)
+	for name, p := range props.Registry() {
+		dst := graph.VertexID(17)
+		st, _ := engine.RunReverse(g, p, []graph.VertexID{dst})
+		want := oracle.BestPathTo(g, p, dst)
+		for v := range want {
+			if st.Values[v] != want[v] {
+				t.Fatalf("%s reverse: value[%d]=%v, want %v", name, v, st.Values[v], want[v])
+			}
+		}
+	}
+}
+
+func TestRunReverseUndirectedEqualsForward(t *testing.T) {
+	g := randomCSR(150, 1200, false, 43)
+	src := graph.VertexID(9)
+	fwd, _ := engine.Run(g, props.SSSP{}, []graph.VertexID{src})
+	rev, _ := engine.RunReverse(g, props.SSSP{}, []graph.VertexID{src})
+	for v := 0; v < g.N; v++ {
+		if fwd.Values[v] != rev.Values[v] {
+			t.Fatalf("undirected forward/reverse differ at %d: %d vs %d",
+				v, fwd.Values[v], rev.Values[v])
+		}
+	}
+}
+
+func TestIncrementalResumeEqualsFresh(t *testing.T) {
+	// Stream edges in two halves; resuming from the first half's converged
+	// state (activating the batch's sources) must equal a fresh run.
+	edges := gen.Uniform(200, 2400, 16, 47)
+	sg := streamgraph.New(200, true)
+	sg.InsertEdges(edges[:1200])
+	snap1 := sg.Acquire()
+
+	src := graph.VertexID(2)
+	st, _ := engine.Run(snap1, props.SSSP{}, []graph.VertexID{src})
+
+	snap2, changed := sg.InsertEdges(edges[1200:])
+	masks := make([]uint64, len(changed))
+	for i := range masks {
+		masks[i] = 1
+	}
+	st.RunPush(snap2, changed, masks)
+
+	fresh, _ := engine.Run(snap2, props.SSSP{}, []graph.VertexID{src})
+	for v := 0; v < 200; v++ {
+		if st.Values[v] != fresh.Values[v] {
+			t.Fatalf("incremental resume diverged at %d: %d vs %d",
+				v, st.Values[v], fresh.Values[v])
+		}
+	}
+}
+
+func TestRunOnSnapshotMatchesCSR(t *testing.T) {
+	edges := gen.Uniform(150, 1300, 8, 53)
+	sg := streamgraph.FromEdges(150, edges, false)
+	snap := sg.Acquire()
+	csr := graph.FromEdges(150, edges, false)
+	for _, p := range []engine.Problem{props.SSSP{}, props.SSWP{}} {
+		a, _ := engine.Run(snap, p, []graph.VertexID{4})
+		b, _ := engine.Run(csr, p, []graph.VertexID{4})
+		for v := 0; v < 150; v++ {
+			if a.Values[v] != b.Values[v] {
+				t.Fatalf("%s: snapshot vs CSR differ at %d", p.Name(), v)
+			}
+		}
+	}
+}
+
+func TestStateGrow(t *testing.T) {
+	st := engine.NewState(props.SSSP{}, 4, 2)
+	st.SetSource(1, 0)
+	st.Grow(10)
+	if st.N != 10 || len(st.Values) != 20 {
+		t.Fatalf("grow: N=%d len=%d", st.N, len(st.Values))
+	}
+	if st.Value(1, 0) != 0 {
+		t.Fatal("grow lost source value")
+	}
+	if st.Value(9, 1) != props.Unreached {
+		t.Fatal("grown slots not at init value")
+	}
+}
+
+func TestStateColumnAndClone(t *testing.T) {
+	st := engine.NewState(props.BFS{}, 3, 2)
+	st.Values = []uint64{0, 1, 2, 3, 4, 5}
+	col := st.Column(1)
+	if col[0] != 1 || col[1] != 3 || col[2] != 5 {
+		t.Fatalf("column = %v", col)
+	}
+	cl := st.Clone()
+	cl.Values[0] = 99
+	if st.Values[0] == 99 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestNewStatePanicsOnBadK(t *testing.T) {
+	for _, k := range []int{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("K=%d did not panic", k)
+				}
+			}()
+			engine.NewState(props.SSSP{}, 1, k)
+		}()
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	// A path graph 0→1→2→3 from source 0: BFS activates each vertex once.
+	g := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 2, W: 1}, {Src: 2, Dst: 3, W: 1}}, true)
+	_, stats := engine.Run(g, props.BFS{}, []graph.VertexID{0})
+	if stats.Activations != 4 {
+		t.Fatalf("activations=%d, want 4", stats.Activations)
+	}
+	if stats.Iterations != 4 {
+		t.Fatalf("iterations=%d, want 4", stats.Iterations)
+	}
+	if stats.Relaxations != 3 || stats.Updates != 3 {
+		t.Fatalf("relax=%d upd=%d, want 3/3", stats.Relaxations, stats.Updates)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := engine.Stats{Activations: 1, Relaxations: 2, Updates: 3, Iterations: 4}
+	a.Add(engine.Stats{Activations: 10, Relaxations: 20, Updates: 30, Iterations: 40})
+	if a.Activations != 11 || a.Relaxations != 22 || a.Updates != 33 || a.Iterations != 44 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestUnreachableStaysAtInit(t *testing.T) {
+	// Two disconnected components; queries from one must not touch the other.
+	g := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1, W: 1}, {Src: 2, Dst: 3, W: 1}}, true)
+	st, _ := engine.Run(g, props.SSSP{}, []graph.VertexID{0})
+	if st.Values[2] != props.Unreached || st.Values[3] != props.Unreached {
+		t.Fatal("unreachable vertices got values")
+	}
+}

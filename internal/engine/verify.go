@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"tripoline/internal/graph"
+	"tripoline/internal/parallel"
+)
+
+// Violation describes one failed fixpoint check: relaxing src's value
+// across the edge to dst would still improve dst.
+type Violation struct {
+	Src, Dst graph.VertexID
+	Slot     int
+	Cand     uint64
+	Have     uint64
+}
+
+// CheckConverged sweeps every edge and reports up to max violations of
+// the fixpoint condition (no relaxation can improve any value). A
+// converged state returns an empty slice. The check is the runtime
+// analogue of the test suite's oracle comparisons: cheap (one edge
+// sweep), independent of how the state was produced, and usable as a
+// production audit after incremental maintenance or trimmed recovery.
+func (st *State) CheckConverged(g View, max int) []Violation {
+	if max <= 0 {
+		max = 16
+	}
+	var mu atomic.Int64
+	out := make([]Violation, max)
+	n := g.NumVertices()
+	K := st.K
+	p := st.P
+	parallel.ForGrain(n, 128, func(v int) {
+		if mu.Load() >= int64(max) {
+			return
+		}
+		base := v * K
+		g.ForEachOut(graph.VertexID(v), func(d graph.VertexID, w graph.Weight) {
+			dbase := int(d) * K
+			for k := 0; k < K; k++ {
+				sv := st.Values[base+k]
+				cand, ok := p.Relax(sv, w)
+				if !ok {
+					continue
+				}
+				if p.Better(cand, st.Values[dbase+k]) {
+					i := mu.Add(1) - 1
+					if int(i) < max {
+						out[i] = Violation{
+							Src: graph.VertexID(v), Dst: d, Slot: k,
+							Cand: cand, Have: st.Values[dbase+k],
+						}
+					}
+				}
+			}
+		})
+	})
+	count := mu.Load()
+	if count > int64(max) {
+		count = int64(max)
+	}
+	return out[:count]
+}

@@ -1,0 +1,83 @@
+package engine_test
+
+import (
+	"testing"
+
+	"tripoline/internal/engine"
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/props"
+)
+
+func TestCheckConvergedOnConvergedState(t *testing.T) {
+	g := randomCSR(150, 1200, true, 111)
+	for name, p := range props.Registry() {
+		st, _ := engine.Run(g, p, []graph.VertexID{3})
+		if vs := st.CheckConverged(g, 8); len(vs) != 0 {
+			t.Fatalf("%s: converged state has violations: %+v", name, vs)
+		}
+	}
+}
+
+func TestCheckConvergedDetectsStaleValue(t *testing.T) {
+	g := randomCSR(100, 900, true, 113)
+	st, _ := engine.Run(g, props.SSSP{}, []graph.VertexID{0})
+	// Corrupt a reachable vertex: make its value much worse.
+	var victim graph.VertexID
+	for v := 1; v < g.N; v++ {
+		if st.Values[v] != props.Unreached && g.Degree(graph.VertexID(v)) > 0 {
+			victim = graph.VertexID(v)
+			break
+		}
+	}
+	st.Values[victim] += 1000
+	vs := st.CheckConverged(g, 8)
+	if len(vs) == 0 {
+		t.Fatal("corruption not detected")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Dst == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations %+v do not name the victim %d", vs, victim)
+	}
+}
+
+func TestCheckConvergedAfterIncrementalMaintenance(t *testing.T) {
+	// Incremental standing-query maintenance must leave a true fixpoint.
+	edges := gen.Uniform(150, 1400, 8, 117)
+	g := randomCSRFromEdges(150, edges[:900], false)
+	st, _ := engine.Run(g, props.SSWP{}, []graph.VertexID{2})
+	g2 := randomCSRFromEdges(150, edges, false)
+	// Resume on the bigger graph, seeding all vertices (superset of the
+	// changed sources — sound and simple for the test).
+	seeds := make([]graph.VertexID, 150)
+	masks := make([]uint64, 150)
+	for v := range seeds {
+		seeds[v] = graph.VertexID(v)
+		masks[v] = 1
+	}
+	st.RunPush(g2, seeds, masks)
+	if vs := st.CheckConverged(g2, 4); len(vs) != 0 {
+		t.Fatalf("resumed state not converged: %+v", vs)
+	}
+}
+
+func TestCheckConvergedMaxCap(t *testing.T) {
+	g := randomCSR(100, 900, true, 119)
+	st := engine.NewState(props.SSSP{}, g.N, 1)
+	// Everything at init except one absurdly good value that improves
+	// many neighbors: violations should cap at max.
+	st.Values[0] = 0
+	vs := st.CheckConverged(g, 2)
+	if len(vs) > 2 {
+		t.Fatalf("cap ignored: %d violations returned", len(vs))
+	}
+}
+
+func randomCSRFromEdges(n int, edges []graph.Edge, directed bool) *graph.CSR {
+	return graph.FromEdges(n, edges, directed)
+}

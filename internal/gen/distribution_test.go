@@ -1,0 +1,67 @@
+package gen
+
+import (
+	"testing"
+)
+
+// TestWeightDistributionUniform checks the weight generator covers
+// [1, MaxWeight] roughly uniformly — in particular that weight-1 edges
+// appear at the expected ~1/MaxWeight rate, which §6.2 of the paper
+// identifies as the driver of Viterbi's near-total stability.
+func TestWeightDistributionUniform(t *testing.T) {
+	c := Config{Name: "w", LogN: 12, AvgDegree: 16, Seed: 3, MaxWeight: 16}
+	edges := RMAT(c)
+	counts := make([]int, 17)
+	for _, e := range edges {
+		if e.W < 1 || e.W > 16 {
+			t.Fatalf("weight %d out of range", e.W)
+		}
+		counts[e.W]++
+	}
+	expected := float64(len(edges)) / 16
+	for w := 1; w <= 16; w++ {
+		ratio := float64(counts[w]) / expected
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Fatalf("weight %d frequency off: %d edges (%.2f of expected)", w, counts[w], ratio)
+		}
+	}
+}
+
+// TestRMATScalesWithConfig sanity-checks that the four standard configs
+// generate graphs whose relative densities preserve the Table 2 ordering
+// (FR largest, OR densest per vertex, LJ sparsest).
+func TestRMATScalesWithConfig(t *testing.T) {
+	sizes := map[string]int{}
+	degs := map[string]float64{}
+	for _, c := range Standard(1) {
+		edges := RMAT(c)
+		sizes[c.Name] = c.N()
+		degs[c.Name] = float64(len(edges)) / float64(c.N())
+	}
+	if sizes["FR-sim"] <= sizes["OR-sim"] || sizes["FR-sim"] <= sizes["TW-sim"] {
+		t.Fatalf("FR-sim must be the largest: %v", sizes)
+	}
+	if degs["OR-sim"] <= degs["FR-sim"] || degs["OR-sim"] <= degs["LJ-sim"] {
+		t.Fatalf("OR-sim must be densest per vertex: %v", degs)
+	}
+	if degs["LJ-sim"] >= degs["TW-sim"] {
+		t.Fatalf("LJ-sim must be sparser than TW-sim: %v", degs)
+	}
+}
+
+// TestSeedIndependence: different seeds give different graphs.
+func TestSeedIndependence(t *testing.T) {
+	c1 := Config{Name: "s", LogN: 10, AvgDegree: 8, Seed: 1}
+	c2 := c1
+	c2.Seed = 2
+	a, b := RMAT(c1), RMAT(c2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/100 {
+		t.Fatalf("seeds 1 and 2 share %d/%d edges", same, len(a))
+	}
+}

@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tripoline/internal/graph"
+)
+
+// WriteWEL writes edges in the weighted-edge-list text format: an
+// optional '#' comment header, then one "src dst weight" triple per
+// line. It is the format cmd/graphgen emits.
+func WriteWEL(w io.Writer, edges []graph.Edge, comment string) error {
+	bw := bufio.NewWriter(w)
+	if comment != "" {
+		if _, err := fmt.Fprintf(bw, "# %s\n", comment); err != nil {
+			return err
+		}
+	}
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.Src, e.Dst, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWEL parses a weighted edge list: '#' lines are comments, blank
+// lines are skipped, and each remaining line holds "src dst [weight]"
+// (weight defaults to 1, so plain edge lists load too). It returns the
+// edges and the vertex count (1 + max vertex ID seen).
+func ReadWEL(r io.Reader) (edges []graph.Edge, n int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, 0, fmt.Errorf("gen: line %d: want \"src dst [weight]\", got %q", line, text)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gen: line %d: bad src: %v", line, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gen: line %d: bad dst: %v", line, err)
+		}
+		w := uint64(1)
+		if len(fields) == 3 {
+			w, err = strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, 0, fmt.Errorf("gen: line %d: bad weight: %v", line, err)
+			}
+			if w == 0 {
+				return nil, 0, fmt.Errorf("gen: line %d: zero weight (weights must be ≥ 1)", line)
+			}
+		}
+		edges = append(edges, graph.Edge{
+			Src: graph.VertexID(src), Dst: graph.VertexID(dst), W: graph.Weight(w),
+		})
+		if int(src)+1 > n {
+			n = int(src) + 1
+		}
+		if int(dst)+1 > n {
+			n = int(dst) + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("gen: reading edge list: %v", err)
+	}
+	return edges, n, nil
+}

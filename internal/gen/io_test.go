@@ -1,0 +1,115 @@
+package gen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tripoline/internal/graph"
+)
+
+func TestWELRoundTrip(t *testing.T) {
+	edges := Uniform(64, 500, 16, 11)
+	var buf bytes.Buffer
+	if err := WriteWEL(&buf, edges, "roundtrip test"); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := ReadWEL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("edge count %d, want %d", len(got), len(edges))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d: %+v != %+v", i, got[i], edges[i])
+		}
+	}
+	if n > 64 || n < 1 {
+		t.Fatalf("n=%d", n)
+	}
+}
+
+func TestWELRoundTripQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		edges := make([]graph.Edge, 0, len(raw)/3)
+		for i := 0; i+2 < len(raw); i += 3 {
+			edges = append(edges, graph.Edge{
+				Src: graph.VertexID(raw[i]),
+				Dst: graph.VertexID(raw[i+1]),
+				W:   graph.Weight(raw[i+2]%100 + 1),
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteWEL(&buf, edges, ""); err != nil {
+			return false
+		}
+		got, _, err := ReadWEL(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(edges) {
+			return false
+		}
+		for i := range edges {
+			if got[i] != edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWELDefaultsWeight(t *testing.T) {
+	edges, n, err := ReadWEL(strings.NewReader("0 1\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 2 || edges[0].W != 1 || edges[1].W != 1 {
+		t.Fatalf("edges=%v", edges)
+	}
+	if n != 3 {
+		t.Fatalf("n=%d", n)
+	}
+}
+
+func TestReadWELSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n0 1 5\n  \n# mid comment\n2 3 7\n"
+	edges, _, err := ReadWEL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 2 {
+		t.Fatalf("edges=%v", edges)
+	}
+}
+
+func TestReadWELErrors(t *testing.T) {
+	cases := []string{
+		"0\n",             // too few fields
+		"0 1 2 3\n",       // too many fields
+		"x 1 2\n",         // bad src
+		"0 y 2\n",         // bad dst
+		"0 1 z\n",         // bad weight
+		"0 1 0\n",         // zero weight
+		"0 1 -3\n",        // negative weight
+		"99999999999 1\n", // src overflows uint32
+	}
+	for _, in := range cases {
+		if _, _, err := ReadWEL(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadWELEmpty(t *testing.T) {
+	edges, n, err := ReadWEL(strings.NewReader(""))
+	if err != nil || len(edges) != 0 || n != 0 {
+		t.Fatalf("edges=%v n=%d err=%v", edges, n, err)
+	}
+}

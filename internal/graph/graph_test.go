@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallDirected() *CSR {
+	// 0→1 (w2), 0→2 (w5), 1→2 (w1), 2→3 (w4), 3→0 (w1)
+	return FromEdges(4, []Edge{
+		{Src: 0, Dst: 1, W: 2}, {Src: 0, Dst: 2, W: 5}, {Src: 1, Dst: 2, W: 1}, {Src: 2, Dst: 3, W: 4}, {Src: 3, Dst: 0, W: 1},
+	}, true)
+}
+
+func TestFromEdgesDirected(t *testing.T) {
+	g := smallDirected()
+	if g.N != 4 || g.NumEdges() != 5 {
+		t.Fatalf("N=%d M=%d", g.N, g.NumEdges())
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 1 || g.Degree(3) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	adj, wgt := g.Neighbors(0)
+	if len(adj) != 2 || adj[0] != 1 || adj[1] != 2 || wgt[0] != 2 || wgt[1] != 5 {
+		t.Fatalf("neighbors of 0 = %v %v", adj, wgt)
+	}
+}
+
+func TestFromEdgesUndirectedMirrors(t *testing.T) {
+	g := FromEdges(3, []Edge{{Src: 0, Dst: 1, W: 7}, {Src: 1, Dst: 2, W: 3}}, false)
+	if g.NumEdges() != 4 {
+		t.Fatalf("M=%d, want 4 (mirrored)", g.NumEdges())
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("deg(1)=%d", g.Degree(1))
+	}
+	adj, wgt := g.Neighbors(2)
+	if len(adj) != 1 || adj[0] != 1 || wgt[0] != 3 {
+		t.Fatal("mirror arc missing")
+	}
+}
+
+func TestFromEdgesDedupFirstWins(t *testing.T) {
+	g := FromEdges(2, []Edge{{Src: 0, Dst: 1, W: 1}, {Src: 0, Dst: 1, W: 9}, {Src: 0, Dst: 1, W: 5}}, true)
+	if g.NumEdges() != 1 {
+		t.Fatalf("M=%d, want 1", g.NumEdges())
+	}
+	_, wgt := g.Neighbors(0)
+	if wgt[0] != 1 {
+		t.Fatalf("weight=%d, want first duplicate 1", wgt[0])
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	g := FromEdges(5, []Edge{{Src: 0, Dst: 4, W: 1}, {Src: 0, Dst: 2, W: 1}, {Src: 0, Dst: 3, W: 1}, {Src: 0, Dst: 1, W: 1}}, true)
+	adj, _ := g.Neighbors(0)
+	for i := 1; i < len(adj); i++ {
+		if adj[i-1] >= adj[i] {
+			t.Fatalf("adjacency not sorted: %v", adj)
+		}
+	}
+}
+
+func TestForEachOut(t *testing.T) {
+	g := smallDirected()
+	var visited []VertexID
+	g.ForEachOut(0, func(d VertexID, w Weight) { visited = append(visited, d) })
+	if len(visited) != 2 || visited[0] != 1 || visited[1] != 2 {
+		t.Fatalf("visited %v", visited)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := smallDirected()
+	gt := g.Transpose()
+	if gt.NumEdges() != g.NumEdges() {
+		t.Fatal("transpose changed edge count")
+	}
+	// 0→1 in g must be 1→0 in gt with the same weight.
+	adj, wgt := gt.Neighbors(1)
+	if len(adj) != 1 || adj[0] != 0 || wgt[0] != 2 {
+		t.Fatalf("transpose of 0→1 wrong: %v %v", adj, wgt)
+	}
+	// Double transpose is the identity on the arc set.
+	gtt := gt.Transpose()
+	for v := 0; v < g.N; v++ {
+		a1, w1 := g.Neighbors(VertexID(v))
+		a2, w2 := gtt.Neighbors(VertexID(v))
+		if len(a1) != len(a2) {
+			t.Fatalf("vertex %d degree differs after double transpose", v)
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] || w1[i] != w2[i] {
+				t.Fatalf("vertex %d arc %d differs", v, i)
+			}
+		}
+	}
+}
+
+func TestTransposeQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 32
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{
+				Src: VertexID(raw[i] % n), Dst: VertexID(raw[i+1] % n), W: 1,
+			})
+		}
+		g := FromEdges(n, edges, true)
+		gt := g.Transpose()
+		// every arc u→v in g appears as v→u in gt
+		ok := true
+		for v := 0; v < n && ok; v++ {
+			g.ForEachOut(VertexID(v), func(d VertexID, w Weight) {
+				found := false
+				gt.ForEachOut(d, func(d2 VertexID, w2 Weight) {
+					if d2 == VertexID(v) && w2 == w {
+						found = true
+					}
+				})
+				if !found {
+					ok = false
+				}
+			})
+		}
+		return ok && g.NumEdges() == gt.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	g := smallDirected()
+	s := g.Statistics("test")
+	if s.N != 4 || s.M != 5 || s.MaxOutDegree != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.AvgOutDegree < 1.24 || s.AvgOutDegree > 1.26 {
+		t.Fatalf("avg degree %v", s.AvgOutDegree)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string rendering")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := FromEdges(10, nil, true)
+	if g.NumEdges() != 0 {
+		t.Fatal("empty graph has edges")
+	}
+	for v := 0; v < 10; v++ {
+		if g.Degree(VertexID(v)) != 0 {
+			t.Fatal("phantom degree")
+		}
+	}
+}
+
+func TestSelfLoopKept(t *testing.T) {
+	g := FromEdges(2, []Edge{{Src: 0, Dst: 0, W: 3}}, true)
+	if g.NumEdges() != 1 {
+		t.Fatal("self loop dropped")
+	}
+}

@@ -1,0 +1,108 @@
+package oracle
+
+import (
+	"testing"
+
+	"tripoline/internal/graph"
+	"tripoline/internal/props"
+)
+
+// chain builds 0→1→2→3 with weights 2, 4, 1.
+func chain() *graph.CSR {
+	return graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1, W: 2}, {Src: 1, Dst: 2, W: 4}, {Src: 2, Dst: 3, W: 1},
+	}, true)
+}
+
+func TestBestPathSSSPChain(t *testing.T) {
+	d := BestPath(chain(), props.SSSP{}, 0)
+	want := []uint64{0, 2, 6, 7}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dist[%d]=%d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestBestPathSSWPChain(t *testing.T) {
+	d := BestPath(chain(), props.SSWP{}, 0)
+	// Bottlenecks along the chain: ∞, 2, 2, 1.
+	if d[1] != 2 || d[2] != 2 || d[3] != 1 {
+		t.Fatalf("widths=%v", d[1:])
+	}
+}
+
+func TestBestPathToReversesDirection(t *testing.T) {
+	g := chain()
+	d := BestPathTo(g, props.SSSP{}, 3)
+	want := []uint64{7, 5, 1, 0}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dist-to[%d]=%d, want %d", i, d[i], want[i])
+		}
+	}
+	// Forward from 3 reaches nothing.
+	fwd := BestPath(g, props.SSSP{}, 3)
+	if fwd[0] != props.Unreached {
+		t.Fatal("forward from sink should not reach 0")
+	}
+}
+
+func TestCountShortestPathsHandmade(t *testing.T) {
+	//    0
+	//   / \
+	//  1   2
+	//   \ / \
+	//    3   4
+	//     \ /
+	//      5    two paths 0→3, one 0→4, three 0→5 (two via 3, one via 4)
+	g := graph.FromEdges(6, []graph.Edge{
+		{Src: 0, Dst: 1, W: 1}, {Src: 0, Dst: 2, W: 1},
+		{Src: 1, Dst: 3, W: 1}, {Src: 2, Dst: 3, W: 1}, {Src: 2, Dst: 4, W: 1},
+		{Src: 3, Dst: 5, W: 1}, {Src: 4, Dst: 5, W: 1},
+	}, true)
+	levels, counts := CountShortestPaths(g, 0)
+	wantLevels := []uint64{0, 1, 1, 2, 2, 3}
+	wantCounts := []uint64{1, 1, 1, 2, 1, 3}
+	for v := range wantLevels {
+		if levels[v] != wantLevels[v] {
+			t.Fatalf("level[%d]=%d, want %d", v, levels[v], wantLevels[v])
+		}
+		if counts[v] != wantCounts[v] {
+			t.Fatalf("count[%d]=%d, want %d", v, counts[v], wantCounts[v])
+		}
+	}
+}
+
+func TestCountShortestPathsUnreachable(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1, W: 1}}, true)
+	levels, counts := CountShortestPaths(g, 0)
+	if levels[2] != ^uint64(0) || counts[2] != 0 {
+		t.Fatalf("unreachable vertex: level=%d count=%d", levels[2], counts[2])
+	}
+}
+
+func TestComponentsHandmade(t *testing.T) {
+	g := graph.FromEdges(6, []graph.Edge{
+		{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 0, W: 1},
+		{Src: 3, Dst: 4, W: 1}, {Src: 4, Dst: 3, W: 1},
+		{Src: 4, Dst: 5, W: 1}, {Src: 5, Dst: 4, W: 1},
+	}, true)
+	labels := Components(g)
+	want := []uint64{0, 0, 2, 3, 3, 3}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("label[%d]=%d, want %d", v, labels[v], want[v])
+		}
+	}
+}
+
+func TestComponentsSingletons(t *testing.T) {
+	g := graph.FromEdges(4, nil, true)
+	labels := Components(g)
+	for v := range labels {
+		if labels[v] != uint64(v) {
+			t.Fatalf("singleton %d labeled %d", v, labels[v])
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, DefaultGrain - 1, DefaultGrain, DefaultGrain + 1, 10_000} {
+		hits := make([]atomic.Int32, max(n, 1))
+		For(n, func(i int) { hits[i].Add(1) })
+		for i := 0; i < n; i++ {
+			if hits[i].Load() != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForGrainSmallGrain(t *testing.T) {
+	const n = 1000
+	var sum atomic.Int64
+	ForGrain(n, 1, func(i int) { sum.Add(int64(i)) })
+	if want := int64(n * (n - 1) / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestForGrainNonPositiveGrain(t *testing.T) {
+	var count atomic.Int64
+	ForGrain(10, 0, func(i int) { count.Add(1) })
+	if count.Load() != 10 {
+		t.Fatalf("count = %d", count.Load())
+	}
+}
+
+func TestForRangeCoversDisjointRanges(t *testing.T) {
+	const n = 5000
+	hits := make([]atomic.Int32, n)
+	ForRange(n, 128, func(start, end int) {
+		if start < 0 || end > n || start >= end {
+			t.Errorf("bad range [%d,%d)", start, end)
+		}
+		for i := start; i < end; i++ {
+			hits[i].Add(1)
+		}
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d hit %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestSumInt64(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 10_000} {
+		got := SumInt64(n, func(i int) int64 { return int64(i) })
+		want := int64(n) * int64(n-1) / 2
+		if n == 0 {
+			want = 0
+		}
+		if got != want {
+			t.Fatalf("SumInt64(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSumInt64Quick(t *testing.T) {
+	f := func(vals []int32) bool {
+		var want int64
+		for _, v := range vals {
+			want += int64(v)
+		}
+		got := SumInt64(len(vals), func(i int) int64 { return int64(vals[i]) })
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumFloat64(t *testing.T) {
+	const n = 4096
+	got := SumFloat64(n, func(i int) float64 { return 1 })
+	if got != n {
+		t.Fatalf("SumFloat64 = %v, want %v", got, float64(n))
+	}
+}
+
+func TestMaxInt64(t *testing.T) {
+	vals := []int64{3, -7, 42, 0, 41}
+	got := MaxInt64(len(vals), -1, func(i int) int64 { return vals[i] })
+	if got != 42 {
+		t.Fatalf("MaxInt64 = %d", got)
+	}
+	if MaxInt64(0, -5, nil) != -5 {
+		t.Fatal("MaxInt64 empty default wrong")
+	}
+}
+
+func TestMaxInt64Quick(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		want := vals[0]
+		for _, v := range vals {
+			if v > want {
+				want = v
+			}
+		}
+		return MaxInt64(len(vals), 0, func(i int) int64 { return vals[i] }) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCASMinUint64(t *testing.T) {
+	var v atomic.Uint64
+	v.Store(100)
+	less := func(a, b uint64) bool { return a < b }
+	if !CASMinUint64(&v, 50, less) {
+		t.Fatal("50 should improve 100")
+	}
+	if CASMinUint64(&v, 75, less) {
+		t.Fatal("75 should not improve 50")
+	}
+	if CASMinUint64(&v, 50, less) {
+		t.Fatal("equal value should not count as improvement")
+	}
+	if v.Load() != 50 {
+		t.Fatalf("value = %d", v.Load())
+	}
+}
+
+func TestCASMinUint64Concurrent(t *testing.T) {
+	var v atomic.Uint64
+	v.Store(1 << 62)
+	less := func(a, b uint64) bool { return a < b }
+	For(10_000, func(i int) {
+		CASMinUint64(&v, uint64(10_000-i), less)
+	})
+	if v.Load() != 1 {
+		t.Fatalf("concurrent min = %d, want 1", v.Load())
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(1) != 1 {
+		t.Fatalf("Workers(1) = %d", Workers(1))
+	}
+	if w := Workers(1 << 20); w < 1 {
+		t.Fatalf("Workers(big) = %d", w)
+	}
+}

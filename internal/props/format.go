@@ -1,0 +1,59 @@
+package props
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format renders an encoded vertex value human-readably for the named
+// problem — the decoding counterpart of the uint64 encodings documented
+// in this package. Unknown problem names render the raw value.
+//
+// It exists for CLI and example output: library users who need the
+// numeric value should decode per the problem's documented encoding
+// (distances/levels/widths are the value itself; Viterbi via
+// ViterbiProb).
+func Format(problem string, value uint64) string {
+	switch problem {
+	case "BFS", "SSNSP":
+		if value == Unreached {
+			return "unreachable"
+		}
+		return fmt.Sprintf("%d hops", value)
+	case "SSSP", "Radii":
+		if value == Unreached {
+			return "unreachable"
+		}
+		return fmt.Sprintf("dist %d", value)
+	case "SSWP":
+		switch value {
+		case 0:
+			return "unreachable"
+		case math.MaxUint64:
+			return "width ∞"
+		default:
+			return fmt.Sprintf("width %d", value)
+		}
+	case "SSNP":
+		if value == Unreached {
+			return "unreachable"
+		}
+		return fmt.Sprintf("narrowness %d", value)
+	case "Viterbi":
+		if value == Unreached {
+			return "prob 0"
+		}
+		return fmt.Sprintf("prob %.4g", ViterbiProb(value))
+	case "SSR":
+		if value == 1 {
+			return "reachable"
+		}
+		return "unreachable"
+	case "CC":
+		return fmt.Sprintf("component %d", value)
+	case "PageRank":
+		return fmt.Sprintf("rank %.4g", math.Float64frombits(value))
+	default:
+		return fmt.Sprintf("%d", value)
+	}
+}

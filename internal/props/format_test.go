@@ -1,0 +1,47 @@
+package props_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tripoline/internal/props"
+)
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		problem string
+		value   uint64
+		want    string
+	}{
+		{"BFS", 3, "3 hops"},
+		{"BFS", props.Unreached, "unreachable"},
+		{"SSNSP", 2, "2 hops"},
+		{"SSSP", 17, "dist 17"},
+		{"Radii", props.Unreached, "unreachable"},
+		{"SSWP", 0, "unreachable"},
+		{"SSWP", math.MaxUint64, "width ∞"},
+		{"SSWP", 9, "width 9"},
+		{"SSNP", 4, "narrowness 4"},
+		{"SSNP", props.Unreached, "unreachable"},
+		{"Viterbi", 1, "prob 1"},
+		{"Viterbi", 4, "prob 0.25"},
+		{"Viterbi", props.Unreached, "prob 0"},
+		{"SSR", 1, "reachable"},
+		{"SSR", 0, "unreachable"},
+		{"CC", 5, "component 5"},
+		{"Unknown", 42, "42"},
+	}
+	for _, c := range cases {
+		if got := props.Format(c.problem, c.value); got != c.want {
+			t.Errorf("Format(%s, %d) = %q, want %q", c.problem, c.value, got, c.want)
+		}
+	}
+}
+
+func TestFormatPageRank(t *testing.T) {
+	got := props.Format("PageRank", math.Float64bits(0.125))
+	if !strings.Contains(got, "0.125") {
+		t.Fatalf("Format(PageRank) = %q", got)
+	}
+}

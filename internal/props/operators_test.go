@@ -1,0 +1,152 @@
+package props_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tripoline/internal/engine"
+	"tripoline/internal/props"
+)
+
+// The ⊕ operators of the built-in problems are all associative and, for
+// the undirected problems, commutative; Combine with the problem's
+// "identity-ish" source value must be non-improving. These algebraic
+// sanity checks keep custom refactors of the encodings honest.
+
+// validValue maps an arbitrary uint64 into the problem's value domain so
+// quick-generated inputs are meaningful.
+func validValue(p engine.Problem, raw uint64) uint64 {
+	switch p.(type) {
+	case props.SSR:
+		return raw & 1
+	case props.SSWP:
+		return raw // any width, including 0 (unreachable) and MaxUint64
+	case props.Viterbi:
+		if raw == 0 {
+			return 1
+		}
+		return raw // weight products ≥ 1, Unreached allowed
+	default:
+		return raw // additive/min-max domains tolerate anything
+	}
+}
+
+func TestCombineAssociative(t *testing.T) {
+	for name, p := range props.Registry() {
+		f := func(a, b, c uint64) bool {
+			x, y, z := validValue(p, a), validValue(p, b), validValue(p, c)
+			return p.Combine(p.Combine(x, y), z) == p.Combine(x, p.Combine(y, z))
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: Combine not associative: %v", name, err)
+		}
+	}
+}
+
+func TestCombineCommutative(t *testing.T) {
+	// All built-in ⊕ operators happen to be commutative (+, min, max,
+	// ×, AND).
+	for name, p := range props.Registry() {
+		f := func(a, b uint64) bool {
+			x, y := validValue(p, a), validValue(p, b)
+			return p.Combine(x, y) == p.Combine(y, x)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: Combine not commutative: %v", name, err)
+		}
+	}
+}
+
+func TestCombineMonotoneInEachArgument(t *testing.T) {
+	// If a ⪯ a' then a ⊕ b ⪯ a' ⊕ b — required for Δ(u,r) built from a
+	// better standing root never to be worse.
+	for name, p := range props.Registry() {
+		f := func(rawA, rawA2, rawB uint64) bool {
+			a, a2, b := validValue(p, rawA), validValue(p, rawA2), validValue(p, rawB)
+			if p.Better(a2, a) {
+				a, a2 = a2, a // ensure a ⪯ a2... i.e. a is better-or-equal
+			}
+			// now a is better than or equal to a2
+			left := p.Combine(a, b)
+			right := p.Combine(a2, b)
+			// left must not be worse than right
+			return !p.Better(right, left)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: Combine not monotone: %v", name, err)
+		}
+	}
+}
+
+func TestSourceCombineNotImproving(t *testing.T) {
+	// property(u,u) ⊕ property(u,x) must never be strictly better than
+	// property(u,x) — the degenerate triangle u=r.
+	for name, p := range props.Registry() {
+		f := func(raw uint64) bool {
+			v := validValue(p, raw)
+			combined := p.Combine(p.SourceValue(), v)
+			return !p.Better(combined, v)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: source ⊕ v improved v: %v", name, err)
+		}
+	}
+}
+
+func TestRelaxNeverProducesInit(t *testing.T) {
+	// A successful relaxation must produce a real (non-init) value;
+	// otherwise unreachable markers could leak into reachable vertices.
+	for name, p := range props.Registry() {
+		f := func(raw uint64, w uint16) bool {
+			v := validValue(p, raw)
+			if v == p.InitValue() {
+				return true
+			}
+			cand, ok := p.Relax(v, uint32(w%64)+1)
+			if !ok {
+				return true
+			}
+			return cand != p.InitValue()
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("%s: Relax produced the init value: %v", name, err)
+		}
+	}
+}
+
+func TestInitValueRelaxRefused(t *testing.T) {
+	for name, p := range props.Registry() {
+		if _, ok := p.Relax(p.InitValue(), 1); ok {
+			t.Fatalf("%s: relaxing the init value succeeded", name)
+		}
+	}
+}
+
+func TestViterbiProbDecoding(t *testing.T) {
+	if props.ViterbiProb(props.Unreached) != 0 {
+		t.Fatal("unreachable probability must be 0")
+	}
+	if props.ViterbiProb(1) != 1 {
+		t.Fatal("empty path probability must be 1")
+	}
+	if got := props.ViterbiProb(4); got != 0.25 {
+		t.Fatalf("prob(4)=%v", got)
+	}
+}
+
+func TestViterbiSaturationIsAbsorbing(t *testing.T) {
+	p := props.Viterbi{}
+	big := uint64(1) << 63
+	sat := p.Combine(big, big) // overflows, must saturate below Unreached
+	if sat == props.Unreached {
+		t.Fatal("saturation collided with the unreachable sentinel")
+	}
+	if p.Better(props.Unreached, sat) {
+		t.Fatal("unreachable ranked better than saturated")
+	}
+	// Saturated stays saturated.
+	again, ok := p.Relax(sat, 64)
+	if !ok || p.Better(again, sat) {
+		t.Fatal("saturated value improved by relaxation")
+	}
+}

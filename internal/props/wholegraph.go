@@ -1,0 +1,163 @@
+package props
+
+import (
+	"math"
+	"sync/atomic"
+
+	"tripoline/internal/engine"
+	"tripoline/internal/graph"
+	"tripoline/internal/parallel"
+)
+
+// This file implements the non-vertex-specific ("whole graph") queries
+// PageRank and connected components. They need no triangle inequality:
+// Tripoline maintains them incrementally as standing queries in the
+// classic way (§4.3) — after a graph update, evaluation simply resumes
+// from the previous converged values.
+
+// CCLabel is the min-label propagation problem underlying connected
+// components: every vertex starts holding its own ID and labels flow along
+// edges, each vertex keeping the minimum it has seen. Monotonic and
+// async-safe.
+type CCLabel struct{}
+
+func (CCLabel) Name() string        { return "CC" }
+func (CCLabel) InitValue() uint64   { return Unreached }
+func (CCLabel) SourceValue() uint64 { return 0 }
+
+func (CCLabel) Relax(srcVal uint64, _ graph.Weight) (uint64, bool) {
+	if srcVal == Unreached {
+		return 0, false
+	}
+	return srcVal, true
+}
+
+func (CCLabel) Better(a, b uint64) bool { return a < b }
+func (CCLabel) Combine(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ConnectedComponents computes per-vertex component labels (the minimum
+// vertex ID in the component, following arcs in the stored direction — on
+// undirected graphs these are the true connected components).
+func ConnectedComponents(g engine.View) (*engine.State, engine.Stats) {
+	n := g.NumVertices()
+	st := engine.NewState(CCLabel{}, n, 1)
+	seeds := make([]graph.VertexID, n)
+	masks := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		st.Values[v] = uint64(v)
+		seeds[v] = graph.VertexID(v)
+		masks[v] = 1
+	}
+	stats := st.RunPush(g, seeds, masks)
+	return st, stats
+}
+
+// ResumeConnectedComponents incrementally re-stabilizes CC labels after a
+// batch of edge insertions whose distinct sources are changed.
+func ResumeConnectedComponents(g engine.View, st *engine.State, changed []graph.VertexID) engine.Stats {
+	n := g.NumVertices()
+	if n > st.N {
+		old := st.N
+		st.Grow(n)
+		for v := old; v < n; v++ {
+			st.Values[v] = uint64(v)
+		}
+	}
+	masks := make([]uint64, len(changed))
+	for i := range masks {
+		masks[i] = 1
+	}
+	return st.RunPush(g, changed, masks)
+}
+
+// PageRankResult holds ranks and the work performed.
+type PageRankResult struct {
+	Ranks      []float64
+	Iterations int
+	Delta      float64 // L1 change in the final iteration
+}
+
+// PageRank runs damped PageRank to the given L1 tolerance (or maxIters),
+// starting from a uniform distribution.
+func PageRank(g engine.View, damping float64, maxIters int, tol float64) *PageRankResult {
+	n := g.NumVertices()
+	init := make([]float64, n)
+	for i := range init {
+		init[i] = 1.0 / float64(n)
+	}
+	return PageRankFrom(g, init, damping, maxIters, tol)
+}
+
+// PageRankFrom runs PageRank starting from prior ranks — the incremental
+// ("standing query") mode: after a graph update, resuming from the
+// previous converged ranks re-stabilizes in a handful of iterations.
+func PageRankFrom(g engine.View, init []float64, damping float64, maxIters int, tol float64) *PageRankResult {
+	n := g.NumVertices()
+	ranks := make([]float64, n)
+	copy(ranks, init)
+	for len(ranks) < n {
+		ranks = append(ranks, 1.0/float64(n))
+	}
+	contrib := make([]uint64, n) // float64 bits, accumulated atomically
+	res := &PageRankResult{Ranks: ranks}
+	for iter := 0; iter < maxIters; iter++ {
+		res.Iterations++
+		parallel.For(n, func(v int) { contrib[v] = 0 })
+		// Scatter: each vertex pushes rank/deg to its out-neighbors.
+		// Dangling mass is redistributed uniformly.
+		var danglingBits atomic.Uint64
+		parallel.ForGrain(n, 64, func(v int) {
+			deg := g.Degree(graph.VertexID(v))
+			if deg == 0 {
+				atomicAddFloat(&danglingBits, ranks[v])
+				return
+			}
+			share := ranks[v] / float64(deg)
+			g.ForEachOut(graph.VertexID(v), func(d graph.VertexID, _ graph.Weight) {
+				atomicAddFloatBits(&contrib[d], share)
+			})
+		})
+		dangling := math.Float64frombits(danglingBits.Load()) / float64(n)
+		base := (1 - damping) / float64(n)
+		var deltaBits atomic.Uint64
+		parallel.ForGrain(n, 256, func(v int) {
+			nv := base + damping*(math.Float64frombits(contrib[v])+dangling)
+			d := math.Abs(nv - ranks[v])
+			ranks[v] = nv
+			atomicAddFloat(&deltaBits, d)
+		})
+		res.Delta = math.Float64frombits(deltaBits.Load())
+		if res.Delta < tol {
+			break
+		}
+	}
+	return res
+}
+
+// atomicAddFloat adds v to the float64 stored (as bits) in an atomic
+// uint64 via a CAS loop.
+func atomicAddFloat(addr *atomic.Uint64, v float64) {
+	for {
+		old := addr.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if addr.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// atomicAddFloatBits is atomicAddFloat over a plain uint64 word.
+func atomicAddFloatBits(addr *uint64, v float64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(addr, old, nv) {
+			return
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package server exposes a Tripoline system over HTTP with a small JSON
+// API, turning the library into a deployable query service: update
+// batches stream in through POSTs, and user queries — the whole point of
+// the paper, queries whose source vertex is not known in advance —
+// arrive as GETs and are answered Δ-based.
+//
+// Endpoints:
+//
+//	GET  /v1/stats                       graph + system summary
+//	GET  /v1/query?problem=SSWP&source=5 one Δ-based user query
+//	GET  /v1/query?...&full=1            the non-incremental baseline
+//	GET  /v1/queryat?version=3&...       query a retained past snapshot
+//	POST /v1/querymany {"problem":"SSSP","sources":[3,9]}
+//	POST /v1/batch   {"edges":[{"src":1,"dst":2,"w":3}, ...]}
+//	POST /v1/delete  {"edges":[...]}
+//
+// Writes (batch/delete) are serialized through the system's exclusive
+// update path; queries run concurrently against immutable snapshots.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"tripoline/internal/core"
+	"tripoline/internal/graph"
+	"tripoline/internal/streamgraph"
+)
+
+// Server is the HTTP front end over one Tripoline system.
+type Server struct {
+	sys *core.System
+	g   *streamgraph.Graph
+
+	// writeMu serializes graph mutations; queries need no lock (they
+	// operate on acquired snapshots and read-only standing arrays, which
+	// mutate only under writeMu between batches).
+	writeMu sync.Mutex
+	mux     *http.ServeMux
+}
+
+// New wraps a system. The caller keeps ownership: batches may also be
+// applied directly as long as they are not concurrent with ServeHTTP
+// writes (use the server's endpoints once serving).
+func New(sys *core.System, g *streamgraph.Graph) *Server {
+	s := &Server{sys: sys, g: g, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/queryat", s.handleQueryAt)
+	s.mux.HandleFunc("POST /v1/querymany", s.handleQueryMany)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// edgeJSON is the wire form of one edge.
+type edgeJSON struct {
+	Src uint32 `json:"src"`
+	Dst uint32 `json:"dst"`
+	W   uint32 `json:"w"`
+}
+
+type batchRequest struct {
+	Edges []edgeJSON `json:"edges"`
+}
+
+type batchResponse struct {
+	Applied         int     `json:"applied"`
+	ChangedSources  int     `json:"changed_sources"`
+	Version         uint64  `json:"version"`
+	StandingSeconds float64 `json:"standing_seconds"`
+}
+
+type statsResponse struct {
+	Vertices int      `json:"vertices"`
+	Edges    int64    `json:"edges"`
+	Version  uint64   `json:"version"`
+	Directed bool     `json:"directed"`
+	Problems []string `json:"problems"`
+}
+
+type queryResponse struct {
+	Problem     string   `json:"problem"`
+	Source      uint32   `json:"source"`
+	Incremental bool     `json:"incremental"`
+	Seconds     float64  `json:"seconds"`
+	Activations int64    `json:"activations"`
+	Values      []uint64 `json:"values"`
+	Counts      []uint64 `json:"counts,omitempty"`
+	Radius      uint64   `json:"radius,omitempty"`
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := s.g.Acquire()
+	writeJSON(w, statsResponse{
+		Vertices: snap.NumVertices(),
+		Edges:    snap.NumEdges(),
+		Version:  snap.Version(),
+		Directed: s.g.Directed(),
+		Problems: s.sys.Enabled(),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	problem := r.URL.Query().Get("problem")
+	if problem == "" {
+		writeErr(w, http.StatusBadRequest, "missing ?problem")
+		return
+	}
+	srcStr := r.URL.Query().Get("source")
+	src, err := strconv.ParseUint(srcStr, 10, 32)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad ?source=%q", srcStr)
+		return
+	}
+	if int(src) >= s.g.Acquire().NumVertices() {
+		writeErr(w, http.StatusBadRequest, "source %d out of range", src)
+		return
+	}
+	var res *core.QueryResult
+	if r.URL.Query().Get("full") != "" {
+		res, err = s.sys.QueryFull(problem, graph.VertexID(src))
+	} else {
+		res, err = s.sys.Query(problem, graph.VertexID(src))
+	}
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, queryResponse{
+		Problem:     res.Problem,
+		Source:      uint32(res.Source),
+		Incremental: res.Incremental,
+		Seconds:     res.Elapsed.Seconds(),
+		Activations: res.Stats.Activations,
+		Values:      res.Values,
+		Counts:      res.Counts,
+		Radius:      res.Radius,
+	})
+}
+
+// handleQueryAt answers against a retained historical snapshot; the
+// system must have history enabled (core.System.EnableHistory).
+func (s *Server) handleQueryAt(w http.ResponseWriter, r *http.Request) {
+	problem := r.URL.Query().Get("problem")
+	srcStr := r.URL.Query().Get("source")
+	verStr := r.URL.Query().Get("version")
+	src, err := strconv.ParseUint(srcStr, 10, 32)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad ?source=%q", srcStr)
+		return
+	}
+	version, err := strconv.ParseUint(verStr, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad ?version=%q", verStr)
+		return
+	}
+	res, err := s.sys.QueryAt(version, problem, graph.VertexID(src))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, queryResponse{
+		Problem:     res.Problem,
+		Source:      uint32(res.Source),
+		Incremental: res.Incremental,
+		Seconds:     res.Elapsed.Seconds(),
+		Activations: res.Stats.Activations,
+		Values:      res.Values,
+		Counts:      res.Counts,
+		Radius:      res.Radius,
+	})
+}
+
+type queryManyRequest struct {
+	Problem string   `json:"problem"`
+	Sources []uint32 `json:"sources"`
+}
+
+type queryManyResponse struct {
+	Problem string   `json:"problem"`
+	Sources []uint32 `json:"sources"`
+	Width   int      `json:"width"`
+	Seconds float64  `json:"seconds"`
+	// Values is the stride-Width array: Values[x*Width+j] is query j's
+	// value at vertex x.
+	Values []uint64 `json:"values"`
+}
+
+func (s *Server) handleQueryMany(w http.ResponseWriter, r *http.Request) {
+	var req queryManyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	sources := make([]graph.VertexID, len(req.Sources))
+	for i, u := range req.Sources {
+		sources[i] = graph.VertexID(u)
+	}
+	res, err := s.sys.QueryMany(req.Problem, sources)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, queryManyResponse{
+		Problem: res.Problem,
+		Sources: req.Sources,
+		Width:   res.Width,
+		Seconds: res.Elapsed.Seconds(),
+		Values:  res.Values,
+	})
+}
+
+func (s *Server) decodeEdges(w http.ResponseWriter, r *http.Request) ([]graph.Edge, bool) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return nil, false
+	}
+	if len(req.Edges) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch")
+		return nil, false
+	}
+	edges := make([]graph.Edge, len(req.Edges))
+	for i, e := range req.Edges {
+		if e.W == 0 {
+			e.W = 1
+		}
+		edges[i] = graph.Edge{Src: e.Src, Dst: e.Dst, W: e.W}
+	}
+	return edges, true
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	edges, ok := s.decodeEdges(w, r)
+	if !ok {
+		return
+	}
+	s.writeMu.Lock()
+	rep := s.sys.ApplyBatch(edges)
+	s.writeMu.Unlock()
+	writeJSON(w, batchResponse{
+		Applied:         rep.BatchEdges,
+		ChangedSources:  rep.ChangedSources,
+		Version:         rep.Version,
+		StandingSeconds: rep.StandingElapsed.Seconds(),
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	edges, ok := s.decodeEdges(w, r)
+	if !ok {
+		return
+	}
+	s.writeMu.Lock()
+	rep := s.sys.ApplyDeletions(edges)
+	s.writeMu.Unlock()
+	writeJSON(w, batchResponse{
+		Applied:         rep.BatchEdges,
+		ChangedSources:  rep.ChangedSources,
+		Version:         rep.Version,
+		StandingSeconds: rep.StandingElapsed.Seconds(),
+	})
+}

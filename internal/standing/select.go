@@ -1,0 +1,94 @@
+package standing
+
+import (
+	"sort"
+
+	"tripoline/internal/engine"
+	"tripoline/internal/graph"
+)
+
+// Query-distribution-aware standing root selection — the refinement §5
+// of the paper sketches ("the standing query selection might be further
+// improved based on the distribution of user queries when it is
+// available"). When a workload history exists, roots can be chosen to
+// serve the vertices users actually query rather than the graph at
+// large.
+
+// QueryHistogram counts observed user-query sources.
+type QueryHistogram struct {
+	counts map[graph.VertexID]uint64
+	total  uint64
+}
+
+// NewQueryHistogram returns an empty histogram.
+func NewQueryHistogram() *QueryHistogram {
+	return &QueryHistogram{counts: make(map[graph.VertexID]uint64)}
+}
+
+// Observe records one user query rooted at u.
+func (h *QueryHistogram) Observe(u graph.VertexID) {
+	h.counts[u]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *QueryHistogram) Total() uint64 { return h.total }
+
+// WeightedRoots selects k standing roots that balance topology (Eq. 14's
+// degree heuristic) against the observed query distribution: each
+// candidate's score is its out-degree plus, for each historically
+// queried vertex it is close to — here approximated by direct
+// adjacency — the query frequency mass it covers. With an empty history
+// the selection degenerates to the plain top-degree rule, so callers can
+// use it unconditionally.
+func WeightedRoots(g engine.View, h *QueryHistogram, k int) []graph.VertexID {
+	n := g.NumVertices()
+	if k > n {
+		k = n
+	}
+	score := make([]float64, n)
+	for v := 0; v < n; v++ {
+		score[v] = float64(g.Degree(graph.VertexID(v)))
+	}
+	if h != nil && h.total > 0 {
+		// A root adjacent to (or identical with) frequently queried
+		// vertices yields small property(u, r) for those queries — the
+		// quantity Eq. 15 minimizes. Spread each queried vertex's mass
+		// onto itself and its out-neighbors. The weight scales with the
+		// average degree so history can actually outvote raw topology.
+		avgDeg := 1.0
+		if n > 0 {
+			var m float64
+			for v := 0; v < n; v++ {
+				m += float64(g.Degree(graph.VertexID(v)))
+			}
+			avgDeg = m / float64(n)
+		}
+		boost := 4 * avgDeg / float64(h.total)
+		for u, c := range h.counts {
+			if int(u) >= n {
+				continue
+			}
+			w := boost * float64(c)
+			score[u] += w
+			g.ForEachOut(u, func(d graph.VertexID, _ graph.Weight) {
+				score[d] += w
+			})
+		}
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if score[ids[a]] != score[ids[b]] {
+			return score[ids[a]] > score[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	out := make([]graph.VertexID, k)
+	for i := 0; i < k; i++ {
+		out[i] = graph.VertexID(ids[i])
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package standing
+
+import (
+	"time"
+
+	"tripoline/internal/engine"
+	"tripoline/internal/graph"
+	"tripoline/internal/parallel"
+)
+
+// Trimmed deletion recovery — the KickStarter-flavored alternative to
+// Rebuild. Deleting edges can only make values worse, and a converged
+// value is stale only if its *derivation* used a deleted arc. The
+// recovery approximates the dependency tracking of KickStarter with a
+// value-witness test that needs no extra per-edge state:
+//
+//   - seed taint: for each deleted arc (a, b, w) and slot k, vertex b is
+//     tainted in slot k iff Relax(val_k(a), w) == val_k(b) — the deleted
+//     arc was a witness of b's value;
+//   - propagate taint: from a tainted (x, k) along surviving out-arcs
+//     (x, y, w), y becomes tainted in slot k iff
+//     Relax(val_k(x), w) == val_k(y) — x was a witness of y.
+//
+// Every truly dependent value is caught (its witness chain consists of
+// witnesses, each of which gets tainted in order), so the test is sound;
+// value plateaus can over-taint, which only costs work. Untainted values
+// are still exact: they have an untainted witness chain from their
+// source, and deletions never improve anything.
+//
+// After tainting, tainted values reset to init (roots to the source
+// value) and the push evaluation resumes with every vertex seeded under
+// the complement mask — one sweep pushes correct boundary values back
+// into the tainted region, and iteration converges over that region
+// only.
+//
+// The reversed standing state (directed graphs) is recovered
+// conservatively: vertices that can reach a deleted arc's source are
+// reset and the pull fixpoint re-run. Witness tracking for the pull
+// model would need per-round in-neighbor witnesses; the conservative
+// path is sound and the reverse state converges in O(diameter) rounds.
+
+// UpdateDeletions re-stabilizes the standing queries after edge
+// deletions. It must be called with the post-deletion snapshot while the
+// manager still holds the pre-deletion converged values (i.e. call it
+// immediately after Graph.DeleteEdges). deleted lists the logical edges
+// removed; undirected adds the mirror arcs to the taint seeds.
+func (m *Manager) UpdateDeletions(g engine.View, deleted []graph.Edge, undirected bool) engine.Stats {
+	start := time.Now()
+	var stats engine.Stats
+
+	m.Forward.Grow(g.NumVertices())
+	taint := m.taintForward(g, deleted, undirected)
+	stats.Add(m.repairForward(g, taint))
+
+	if m.Reverse != nil {
+		m.Reverse.Grow(g.NumVertices())
+		rTaint := m.taintReverse(g, deleted, undirected)
+		stats.Add(m.repairReverse(g, rTaint))
+	}
+	m.LastMaintain = time.Since(start)
+	m.TotalStats.Add(stats)
+	return stats
+}
+
+// taintForward computes the per-slot taint masks over the pre-deletion
+// values.
+func (m *Manager) taintForward(g engine.View, deleted []graph.Edge, undirected bool) []uint64 {
+	st := m.Forward
+	p := m.Problem
+	n := st.N
+	K := st.K
+	init := p.InitValue()
+	taint := make([]uint64, n)
+	var frontier []graph.VertexID
+
+	seed := func(a, b graph.VertexID, w graph.Weight) {
+		if int(a) >= n || int(b) >= n {
+			return
+		}
+		var mask uint64
+		for k := 0; k < K; k++ {
+			va := st.Values[int(a)*K+k]
+			if va == init {
+				continue
+			}
+			cand, ok := p.Relax(va, w)
+			if ok && cand == st.Values[int(b)*K+k] {
+				mask |= 1 << uint(k)
+			}
+		}
+		if mask != 0 && taint[b]|mask != taint[b] {
+			taint[b] |= mask
+			frontier = append(frontier, b)
+		}
+	}
+	for _, e := range deleted {
+		seed(e.Src, e.Dst, e.W)
+		if undirected {
+			seed(e.Dst, e.Src, e.W)
+		}
+	}
+
+	// Propagate witnesses over the surviving arcs. Sequential worklist —
+	// taint sets are usually tiny relative to the graph; the repair push
+	// afterwards is the parallel part. A vertex re-enters the worklist
+	// only when it gains new taint bits, so the loop terminates after at
+	// most n*K bit additions.
+	for len(frontier) > 0 {
+		x := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		mask := taint[x]
+		base := int(x) * K
+		g.ForEachOut(x, func(y graph.VertexID, w graph.Weight) {
+			ybase := int(y) * K
+			var add uint64
+			for mk := mask; mk != 0; mk &= mk - 1 {
+				k := trailingBit(mk)
+				vx := st.Values[base+k]
+				if vx == init {
+					continue
+				}
+				cand, ok := p.Relax(vx, w)
+				if ok && cand == st.Values[ybase+k] && taint[y]&(1<<uint(k)) == 0 {
+					add |= 1 << uint(k)
+				}
+			}
+			if add != 0 {
+				taint[y] |= add
+				frontier = append(frontier, y)
+			}
+		})
+	}
+	return taint
+}
+
+// repairForward resets tainted value slots and resumes the evaluation
+// with every vertex seeded under its untainted mask (plus tainted roots
+// under their own slot).
+func (m *Manager) repairForward(g engine.View, taint []uint64) engine.Stats {
+	st := m.Forward
+	p := m.Problem
+	init := p.InitValue()
+	n := st.N
+	K := st.K
+	fullMask := maskFor(K)
+	parallel.ForGrain(n, 256, func(v int) {
+		mask := taint[v]
+		for mk := mask; mk != 0; mk &= mk - 1 {
+			st.Values[v*K+trailingBit(mk)] = init
+		}
+	})
+	seeds := make([]graph.VertexID, 0, n)
+	masks := make([]uint64, 0, n)
+	for v := 0; v < n; v++ {
+		if keep := fullMask &^ taint[v]; keep != 0 {
+			seeds = append(seeds, graph.VertexID(v))
+			masks = append(masks, keep)
+		}
+	}
+	for k, r := range m.Roots {
+		if int(r) < n && taint[r]&(1<<uint(k)) != 0 {
+			st.SetSource(r, k)
+			seeds = append(seeds, r)
+			masks = append(masks, 1<<uint(k))
+		}
+	}
+	return st.RunPush(g, seeds, masks)
+}
+
+// taintReverse computes per-slot taint masks for the reversed state.
+// A reversed value val(z) = property(z, r) derives through one of z's
+// out-arcs (z, y, w): the witness test is val(z) == Relax(val(y), w).
+// Seeds are the deleted arcs' sources; propagation runs pull-style
+// rounds (a vertex checks its surviving out-arcs against tainted
+// neighbors), so only the out-edge representation is needed.
+func (m *Manager) taintReverse(g engine.View, deleted []graph.Edge, undirected bool) []uint64 {
+	st := m.Reverse
+	p := m.Problem
+	n := st.N
+	K := st.K
+	init := p.InitValue()
+	taint := make([]uint64, n)
+
+	seed := func(a, b graph.VertexID, w graph.Weight) {
+		if int(a) >= n || int(b) >= n {
+			return
+		}
+		for k := 0; k < K; k++ {
+			vb := st.Values[int(b)*K+k]
+			if vb == init {
+				continue
+			}
+			cand, ok := p.Relax(vb, w)
+			if ok && cand == st.Values[int(a)*K+k] {
+				taint[a] |= 1 << uint(k)
+			}
+		}
+	}
+	for _, e := range deleted {
+		seed(e.Src, e.Dst, e.W)
+		if undirected {
+			seed(e.Dst, e.Src, e.W)
+		}
+	}
+
+	for {
+		changed := false
+		for z := 0; z < n; z++ {
+			zbase := z * K
+			g.ForEachOut(graph.VertexID(z), func(y graph.VertexID, w graph.Weight) {
+				ty := taint[y]
+				if ty == 0 {
+					return
+				}
+				for mk := ty &^ taint[z]; mk != 0; mk &= mk - 1 {
+					k := trailingBit(mk)
+					vy := st.Values[int(y)*K+k]
+					if vy == init {
+						continue
+					}
+					cand, ok := p.Relax(vy, w)
+					if ok && cand == st.Values[zbase+k] {
+						taint[z] |= 1 << uint(k)
+						changed = true
+					}
+				}
+			})
+		}
+		if !changed {
+			return taint
+		}
+	}
+}
+
+// repairReverse resets tainted reversed value slots and resumes the pull
+// fixpoint (untainted values participate automatically — pull reads all
+// neighbors every round).
+func (m *Manager) repairReverse(g engine.View, taint []uint64) engine.Stats {
+	st := m.Reverse
+	p := m.Problem
+	init := p.InitValue()
+	K := st.K
+	parallel.ForGrain(st.N, 256, func(v int) {
+		for mk := taint[v]; mk != 0; mk &= mk - 1 {
+			st.Values[v*K+trailingBit(mk)] = init
+		}
+	})
+	for k, r := range m.Roots {
+		if int(r) < st.N {
+			st.SetSource(r, k)
+		}
+	}
+	var stats engine.Stats
+	st.RunPull(g, &stats)
+	return stats
+}
+
+func maskFor(k int) uint64 {
+	if k == 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(k) - 1
+}
+
+func trailingBit(x uint64) int {
+	k := 0
+	for x&1 == 0 {
+		x >>= 1
+		k++
+	}
+	return k
+}

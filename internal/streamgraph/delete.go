@@ -1,0 +1,72 @@
+package streamgraph
+
+import (
+	"sort"
+
+	"tripoline/internal/ctree"
+	"tripoline/internal/graph"
+	"tripoline/internal/parallel"
+)
+
+// DeleteEdges removes a batch of arcs (and their mirrors on undirected
+// graphs), publishing a new version. It returns the new snapshot and the
+// distinct source vertices whose adjacency changed. Arcs that do not
+// exist are ignored.
+//
+// Deletions are an extension beyond the paper's growing-graph scenario
+// (§2 defers them to KickStarter-style trimming). They break the
+// monotonicity that incremental resumption relies on, so consumers of
+// converged query state must NOT resume after a deletion — the core
+// system recomputes affected standing queries from scratch instead
+// (see core.System.ApplyDeletions).
+func (g *Graph) DeleteEdges(batch []graph.Edge) (*Snapshot, []graph.VertexID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	old := g.latest.Load()
+
+	bySrc := make(map[graph.VertexID][]graph.VertexID)
+	for _, e := range batch {
+		bySrc[e.Src] = append(bySrc[e.Src], e.Dst)
+		if !g.directed {
+			bySrc[e.Dst] = append(bySrc[e.Dst], e.Src)
+		}
+	}
+	sources := make([]graph.VertexID, 0, len(bySrc))
+	for s := range bySrc {
+		if int(s) < old.n {
+			sources = append(sources, s)
+		}
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+
+	table := old.table
+	trees := make([]ctree.Tree, len(sources))
+	removed := make([]int64, len(sources))
+	parallel.For(len(sources), func(i int) {
+		src := sources[i]
+		t := table.Get(int(src))
+		for _, dst := range bySrc[src] {
+			var ok bool
+			if t, ok = t.Remove(dst); ok {
+				removed[i]++
+			}
+		}
+		trees[i] = t
+	})
+
+	m := old.m
+	actual := sources[:0]
+	for i, src := range sources {
+		if removed[i] == 0 {
+			continue
+		}
+		table = table.Set(int(src), trees[i])
+		m -= removed[i]
+		actual = append(actual, src)
+	}
+
+	snap := &Snapshot{table: table, n: old.n, m: m, version: old.version + 1}
+	g.latest.Store(snap)
+	return snap, actual
+}

@@ -1,0 +1,96 @@
+package streamgraph
+
+import "sync"
+
+// History retains a bounded window of recent snapshots of a Graph so
+// queries can be evaluated against past versions — the evolving-graph /
+// multi-snapshot analysis scenario (Chronos, GraphTau) that purely
+// functional snapshots make nearly free: retaining a version costs only
+// the nodes not shared with its neighbors.
+//
+// History observes a Graph passively: call Record after each applied
+// batch (or use core-level plumbing). It is safe for concurrent use.
+type History struct {
+	mu       sync.RWMutex
+	capacity int
+	snaps    []*Snapshot // ascending version order
+}
+
+// NewHistory creates a history retaining at most capacity snapshots
+// (minimum 1).
+func NewHistory(capacity int) *History {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &History{capacity: capacity}
+}
+
+// Record remembers the graph's current snapshot. Recording the same
+// version twice is a no-op. The oldest snapshot is evicted beyond
+// capacity.
+func (h *History) Record(g *Graph) *Snapshot {
+	snap := g.Acquire()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if n := len(h.snaps); n > 0 && h.snaps[n-1].Version() == snap.Version() {
+		return snap
+	}
+	h.snaps = append(h.snaps, snap)
+	if len(h.snaps) > h.capacity {
+		h.snaps = h.snaps[len(h.snaps)-h.capacity:]
+	}
+	return snap
+}
+
+// Len returns the number of retained snapshots.
+func (h *History) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.snaps)
+}
+
+// AtVersion returns the retained snapshot with the given version.
+func (h *History) AtVersion(version uint64) (*Snapshot, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, s := range h.snaps {
+		if s.Version() == version {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Latest returns the most recently retained snapshot.
+func (h *History) Latest() (*Snapshot, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if len(h.snaps) == 0 {
+		return nil, false
+	}
+	return h.snaps[len(h.snaps)-1], true
+}
+
+// Versions lists retained version numbers in ascending order.
+func (h *History) Versions() []uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]uint64, len(h.snaps))
+	for i, s := range h.snaps {
+		out[i] = s.Version()
+	}
+	return out
+}
+
+// Range calls f over retained snapshots in ascending version order until
+// f returns false.
+func (h *History) Range(f func(*Snapshot) bool) {
+	h.mu.RLock()
+	snaps := append([]*Snapshot(nil), h.snaps...)
+	h.mu.RUnlock()
+	for _, s := range snaps {
+		if !f(s) {
+			return
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package streamgraph
+
+import (
+	"testing"
+
+	"tripoline/internal/graph"
+)
+
+func TestHistoryRecordAndLookup(t *testing.T) {
+	g := New(4, true)
+	h := NewHistory(8)
+	h.Record(g) // version 0
+	g.InsertEdges([]graph.Edge{{Src: 0, Dst: 1, W: 1}})
+	h.Record(g) // version 1
+	g.InsertEdges([]graph.Edge{{Src: 1, Dst: 2, W: 1}})
+	h.Record(g) // version 2
+
+	if h.Len() != 3 {
+		t.Fatalf("Len=%d", h.Len())
+	}
+	v1, ok := h.AtVersion(1)
+	if !ok || v1.NumEdges() != 1 {
+		t.Fatalf("version 1: %v %v", v1, ok)
+	}
+	if _, ok := v1.HasEdge(1, 2); ok {
+		t.Fatal("old version sees newer arc")
+	}
+	latest, ok := h.Latest()
+	if !ok || latest.Version() != 2 || latest.NumEdges() != 2 {
+		t.Fatal("latest wrong")
+	}
+	if _, ok := h.AtVersion(99); ok {
+		t.Fatal("phantom version found")
+	}
+}
+
+func TestHistoryEviction(t *testing.T) {
+	g := New(4, true)
+	h := NewHistory(2)
+	for i := 0; i < 5; i++ {
+		g.InsertEdges([]graph.Edge{{Src: 0, Dst: graph.VertexID(i%3 + 1), W: graph.Weight(i + 1)}})
+		h.Record(g)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len=%d", h.Len())
+	}
+	vs := h.Versions()
+	if len(vs) != 2 || vs[0] != 4 || vs[1] != 5 {
+		t.Fatalf("versions=%v", vs)
+	}
+}
+
+func TestHistoryDuplicateRecordNoOp(t *testing.T) {
+	g := New(4, true)
+	h := NewHistory(4)
+	h.Record(g)
+	h.Record(g)
+	if h.Len() != 1 {
+		t.Fatalf("Len=%d after duplicate record", h.Len())
+	}
+}
+
+func TestHistoryCapacityMinimum(t *testing.T) {
+	h := NewHistory(0)
+	g := New(2, true)
+	h.Record(g)
+	if h.Len() != 1 {
+		t.Fatal("capacity clamp failed")
+	}
+}
+
+func TestHistoryRange(t *testing.T) {
+	g := New(4, true)
+	h := NewHistory(8)
+	h.Record(g)
+	g.InsertEdges([]graph.Edge{{Src: 0, Dst: 1, W: 1}})
+	h.Record(g)
+	var versions []uint64
+	h.Range(func(s *Snapshot) bool {
+		versions = append(versions, s.Version())
+		return true
+	})
+	if len(versions) != 2 || versions[0] != 0 || versions[1] != 1 {
+		t.Fatalf("range visited %v", versions)
+	}
+	count := 0
+	h.Range(func(*Snapshot) bool { count++; return false })
+	if count != 1 {
+		t.Fatal("early stop ignored")
+	}
+}

@@ -1,0 +1,156 @@
+package streamgraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"tripoline/internal/graph"
+)
+
+// Binary snapshot persistence. The format difference-encodes each
+// adjacency list (destinations are sorted, so gaps are small on
+// power-law graphs), the same idea as Aspen's compressed chunks, applied
+// at rest:
+//
+//	magic "TRPL" | version u8 | directed u8 | n uvarint | m uvarint
+//	per vertex: degree uvarint, then (dstGap uvarint, weight uvarint)*
+//
+// Save writes a snapshot; Load reconstructs a Graph whose single version
+// holds the same edges. Standing query state is deliberately not
+// persisted: re-enabling problems after Load re-evaluates them, which is
+// bounded work and avoids versioning every handler's internals.
+
+const (
+	persistMagic   = "TRPL"
+	persistVersion = 1
+)
+
+// Save writes the snapshot to w in the compressed binary format.
+func Save(w io.Writer, s *Snapshot, directed bool) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	dir := byte(0)
+	if directed {
+		dir = 1
+	}
+	if err := bw.WriteByte(persistVersion); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(dir); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(s.NumVertices())); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(s.NumEdges())); err != nil {
+		return err
+	}
+	for v := 0; v < s.NumVertices(); v++ {
+		if err := putUvarint(uint64(s.Degree(graph.VertexID(v)))); err != nil {
+			return err
+		}
+		prev := uint64(0)
+		var werr error
+		s.ForEachOut(graph.VertexID(v), func(d graph.VertexID, wgt graph.Weight) {
+			if werr != nil {
+				return
+			}
+			// Destinations are visited in ascending order; gap encoding.
+			gap := uint64(d) - prev
+			prev = uint64(d)
+			if werr = putUvarint(gap); werr != nil {
+				return
+			}
+			werr = putUvarint(uint64(wgt))
+		})
+		if werr != nil {
+			return werr
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a graph previously written by Save and returns a fresh
+// streaming Graph at version 1 containing its edges.
+func Load(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("streamgraph: reading magic: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("streamgraph: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != persistVersion {
+		return nil, fmt.Errorf("streamgraph: unsupported format version %d", ver)
+	}
+	dir, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	n64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("streamgraph: reading vertex count: %w", err)
+	}
+	m64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("streamgraph: reading edge count: %w", err)
+	}
+	n := int(n64)
+	// The file stores arcs (post-mirroring), so load as a directed graph
+	// regardless of the logical directedness flag, then restore the flag.
+	g := New(n, true)
+	edges := make([]graph.Edge, 0, 4096)
+	var total uint64
+	for v := 0; v < n; v++ {
+		deg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("streamgraph: vertex %d degree: %w", v, err)
+		}
+		prev := uint64(0)
+		for i := uint64(0); i < deg; i++ {
+			gap, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("streamgraph: vertex %d arc %d: %w", v, i, err)
+			}
+			wgt, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("streamgraph: vertex %d weight %d: %w", v, i, err)
+			}
+			prev += gap
+			edges = append(edges, graph.Edge{
+				Src: graph.VertexID(v), Dst: graph.VertexID(prev), W: graph.Weight(wgt),
+			})
+			total++
+			if len(edges) == cap(edges) {
+				g.InsertEdges(edges)
+				edges = edges[:0]
+			}
+		}
+	}
+	if len(edges) > 0 {
+		g.InsertEdges(edges)
+	}
+	if total != m64 {
+		return nil, fmt.Errorf("streamgraph: arc count mismatch: read %d, header says %d", total, m64)
+	}
+	g.directed = dir == 1
+	// Collapse the load batches into a single logical version.
+	snap := g.latest.Load()
+	g.latest.Store(&Snapshot{table: snap.table, n: snap.n, m: snap.m, version: 1})
+	return g, nil
+}

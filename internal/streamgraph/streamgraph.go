@@ -1,0 +1,225 @@
+// Package streamgraph implements the streaming graph engine of Tripoline:
+// an Aspen-like versioned graph built on purely functional C-trees
+// (package ctree). Each version is an immutable Snapshot that any number
+// of readers (query evaluations) may traverse while a single writer
+// derives the next version by inserting a batch of weighted edges.
+//
+// Only out-edges are stored (one-way representation). The dual-model
+// evaluation of §4.2 in the paper lets both q(r) (push over out-edges) and
+// q⁻¹(r) (pull over out-edges) run on this representation, which is the
+// point of that design: no in-edge index, half the update cost.
+//
+// The paper's streaming scenario is insert-only (growing graphs); this
+// engine follows that and does not implement deletions.
+package streamgraph
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tripoline/internal/ctree"
+	"tripoline/internal/graph"
+	"tripoline/internal/parallel"
+)
+
+// Snapshot is one immutable version of the graph. It is safe for
+// concurrent use by any number of goroutines.
+type Snapshot struct {
+	table   ctree.VertexTable
+	n       int
+	m       int64
+	version uint64
+}
+
+// NumVertices returns the number of vertices.
+func (s *Snapshot) NumVertices() int { return s.n }
+
+// NumEdges returns the number of stored arcs.
+func (s *Snapshot) NumEdges() int64 { return s.m }
+
+// Version returns the monotonically increasing version number (0 for the
+// initial snapshot, +1 per applied batch).
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Degree returns the out-degree of v.
+func (s *Snapshot) Degree(v graph.VertexID) int {
+	return s.table.Get(int(v)).Size()
+}
+
+// ForEachOut calls f(dst, w) for every out-edge of v in ascending
+// destination order.
+func (s *Snapshot) ForEachOut(v graph.VertexID, f func(dst graph.VertexID, w graph.Weight)) {
+	s.table.Get(int(v)).ForEach(func(e uint64) {
+		f(ctree.Key(e), ctree.Payload(e))
+	})
+}
+
+// ForEachOutWhile is ForEachOut with early termination; it reports whether
+// the traversal completed.
+func (s *Snapshot) ForEachOutWhile(v graph.VertexID, f func(dst graph.VertexID, w graph.Weight) bool) bool {
+	return s.table.Get(int(v)).ForEachWhile(func(e uint64) bool {
+		return f(ctree.Key(e), ctree.Payload(e))
+	})
+}
+
+// HasEdge reports whether arc v→u exists and returns its weight.
+func (s *Snapshot) HasEdge(v, u graph.VertexID) (graph.Weight, bool) {
+	e, ok := s.table.Get(int(v)).Find(u)
+	if !ok {
+		return 0, false
+	}
+	return ctree.Payload(e), true
+}
+
+// OutNeighbors materializes the adjacency of v (sorted by destination).
+func (s *Snapshot) OutNeighbors(v graph.VertexID) ([]graph.VertexID, []graph.Weight) {
+	t := s.table.Get(int(v))
+	adj := make([]graph.VertexID, 0, t.Size())
+	wgt := make([]graph.Weight, 0, t.Size())
+	t.ForEach(func(e uint64) {
+		adj = append(adj, ctree.Key(e))
+		wgt = append(wgt, ctree.Payload(e))
+	})
+	return adj, wgt
+}
+
+// CSR materializes the snapshot as a static CSR graph (for oracles and
+// baselines that want flat arrays).
+func (s *Snapshot) CSR(directed bool) *graph.CSR {
+	off := make([]int64, s.n+1)
+	parallel.For(s.n, func(v int) {
+		off[v+1] = int64(s.Degree(graph.VertexID(v)))
+	})
+	for v := 0; v < s.n; v++ {
+		off[v+1] += off[v]
+	}
+	adj := make([]graph.VertexID, off[s.n])
+	wgt := make([]graph.Weight, off[s.n])
+	parallel.For(s.n, func(v int) {
+		i := off[v]
+		s.ForEachOut(graph.VertexID(v), func(d graph.VertexID, w graph.Weight) {
+			adj[i] = d
+			wgt[i] = w
+			i++
+		})
+	})
+	return &graph.CSR{Off: off, Adj: adj, Wgt: wgt, N: s.n, Directed: directed}
+}
+
+// Graph is the versioned streaming graph. A single writer applies batches
+// through InsertEdges; Acquire returns the latest immutable snapshot.
+type Graph struct {
+	mu       sync.Mutex // serializes writers
+	latest   atomic.Pointer[Snapshot]
+	directed bool
+}
+
+// New creates an empty streaming graph over n vertices. directed controls
+// whether InsertEdges mirrors each edge.
+func New(n int, directed bool) *Graph {
+	g := &Graph{directed: directed}
+	snap := &Snapshot{table: ctree.NewVertexTable(n), n: n}
+	g.latest.Store(snap)
+	return g
+}
+
+// FromEdges creates a streaming graph preloaded with edges (the "initial
+// portion" of an edge stream).
+func FromEdges(n int, edges []graph.Edge, directed bool) *Graph {
+	g := New(n, directed)
+	g.InsertEdges(edges)
+	return g
+}
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Acquire returns the latest snapshot. The snapshot remains valid (and
+// unchanged) regardless of subsequent insertions.
+func (g *Graph) Acquire() *Snapshot { return g.latest.Load() }
+
+// InsertEdges applies one batch of edge insertions, producing and
+// publishing a new version. It returns the new snapshot and the list of
+// distinct source vertices whose adjacency changed — exactly the vertices
+// incremental evaluation must re-activate (§2 of the paper). For
+// undirected graphs the mirrored arcs' sources are included.
+//
+// The stream is grow-only (the paper's scenario): re-inserting an
+// existing arc is a no-op and its original weight is kept. This keeps
+// every graph change monotone, which is what lets converged query state
+// be resumed incrementally — a weight change would require KickStarter-
+// style trimming, which is orthogonal to this work (§2).
+func (g *Graph) InsertEdges(batch []graph.Edge) (*Snapshot, []graph.VertexID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	old := g.latest.Load()
+
+	// Group the batch by source so each vertex's edge tree is rebuilt
+	// once. Mirror arcs for undirected graphs.
+	bySrc := make(map[graph.VertexID][]uint64)
+	addArc := func(s, d graph.VertexID, w graph.Weight) {
+		bySrc[s] = append(bySrc[s], ctree.Elem(d, w))
+	}
+	maxID := graph.VertexID(0)
+	for _, e := range batch {
+		addArc(e.Src, e.Dst, e.W)
+		if !g.directed {
+			addArc(e.Dst, e.Src, e.W)
+		}
+		if e.Src > maxID {
+			maxID = e.Src
+		}
+		if e.Dst > maxID {
+			maxID = e.Dst
+		}
+	}
+
+	n := old.n
+	if int(maxID)+1 > n {
+		n = int(maxID) + 1
+	}
+	table := old.table.Grow(n)
+
+	// Deterministic iteration order over changed sources.
+	sources := make([]graph.VertexID, 0, len(bySrc))
+	for s := range bySrc {
+		sources = append(sources, s)
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+
+	// Each source's new edge tree can be built independently; the table
+	// update itself is sequential path-copying (cheap relative to the
+	// per-vertex tree merges). First-wins: arcs already present (or
+	// duplicated within the batch) are skipped.
+	trees := make([]ctree.Tree, len(sources))
+	added := make([]int64, len(sources))
+	parallel.For(len(sources), func(i int) {
+		src := sources[i]
+		t := table.Get(int(src))
+		for _, e := range bySrc[src] {
+			if _, exists := t.Find(ctree.Key(e)); exists {
+				continue
+			}
+			t = t.Insert(e)
+			added[i]++
+		}
+		trees[i] = t
+	})
+	var m int64 = old.m
+	actual := sources[:0]
+	for i, src := range sources {
+		if added[i] == 0 {
+			continue
+		}
+		table = table.Set(int(src), trees[i])
+		m += added[i]
+		actual = append(actual, src)
+	}
+	sources = actual
+
+	snap := &Snapshot{table: table, n: n, m: m, version: old.version + 1}
+	g.latest.Store(snap)
+	return snap, sources
+}

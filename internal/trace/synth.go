@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/xrand"
+)
+
+// SynthConfig describes a synthetic mixed workload over an edge stream.
+type SynthConfig struct {
+	// Stream supplies the update batches (its Initial portion is assumed
+	// already loaded by the caller).
+	Stream gen.Stream
+	// Problems to draw queries from, uniformly.
+	Problems []string
+	// QueriesPerBatch is the mean number of user queries between
+	// consecutive update batches (geometric arrivals).
+	QueriesPerBatch float64
+	// DeleteEvery inserts a deletion event after every DeleteEvery-th
+	// batch, removing DeleteFraction of that batch again (0 disables).
+	DeleteEvery    int
+	DeleteFraction float64
+	// MaxBatches caps the number of update batches used (0 = all).
+	MaxBatches int
+	Seed       uint64
+}
+
+// Synthesize builds a workload trace from the configuration. Query
+// sources are drawn uniformly from the vertex space; callers wanting the
+// §6.1 non-trivial-source rule should oversample and let degree-0
+// sources answer trivially (they are still valid queries).
+func Synthesize(cfg SynthConfig) *Trace {
+	rng := xrand.New(cfg.Seed + 0x7ACE)
+	tr := &Trace{}
+	if cfg.QueriesPerBatch <= 0 {
+		cfg.QueriesPerBatch = 1
+	}
+	n := cfg.Stream.N
+	batches := cfg.Stream.Batches
+	if cfg.MaxBatches > 0 && cfg.MaxBatches < len(batches) {
+		batches = batches[:cfg.MaxBatches]
+	}
+	addQueries := func() {
+		// Geometric number of queries with the requested mean.
+		p := 1 / (1 + cfg.QueriesPerBatch)
+		for rng.Float64() >= p {
+			problem := cfg.Problems[rng.Intn(len(cfg.Problems))]
+			tr.AddQuery(problem, graph.VertexID(rng.Intn(n)))
+		}
+	}
+	for i, b := range batches {
+		tr.AddBatch(b)
+		if cfg.DeleteEvery > 0 && (i+1)%cfg.DeleteEvery == 0 && cfg.DeleteFraction > 0 {
+			k := int(cfg.DeleteFraction * float64(len(b)))
+			if k > 0 {
+				tr.AddDelete(b[:k])
+			}
+		}
+		addQueries()
+	}
+	return tr
+}

@@ -1,0 +1,108 @@
+package trace_test
+
+import (
+	"testing"
+
+	"tripoline/internal/gen"
+	"tripoline/internal/streamgraph"
+	"tripoline/internal/trace"
+)
+
+func synthStream() gen.Stream {
+	edges := gen.Uniform(100, 1200, 8, 401)
+	return gen.MakeStream(100, edges, false, 0.5, 100, 401)
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	tr := trace.Synthesize(trace.SynthConfig{
+		Stream:          synthStream(),
+		Problems:        []string{"BFS", "SSWP"},
+		QueriesPerBatch: 3,
+		Seed:            1,
+	})
+	batches, queries, deletes := 0, 0, 0
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.KindBatch:
+			batches++
+		case trace.KindQuery:
+			queries++
+		case trace.KindDelete:
+			deletes++
+		}
+	}
+	if batches != 6 { // 600 remaining edges / 100 per batch
+		t.Fatalf("batches=%d", batches)
+	}
+	if deletes != 0 {
+		t.Fatalf("deletes=%d without DeleteEvery", deletes)
+	}
+	// Mean 3 queries per batch → expect roughly 18, allow wide slack.
+	if queries < 5 || queries > 60 {
+		t.Fatalf("queries=%d, want ~18", queries)
+	}
+}
+
+func TestSynthesizeWithDeletes(t *testing.T) {
+	tr := trace.Synthesize(trace.SynthConfig{
+		Stream:          synthStream(),
+		Problems:        []string{"BFS"},
+		QueriesPerBatch: 1,
+		DeleteEvery:     2,
+		DeleteFraction:  0.25,
+		MaxBatches:      4,
+		Seed:            2,
+	})
+	batches, deletes := 0, 0
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.KindBatch:
+			batches++
+		case trace.KindDelete:
+			deletes++
+			if len(e.Edges) != 25 {
+				t.Fatalf("delete size %d, want 25", len(e.Edges))
+			}
+		}
+	}
+	if batches != 4 || deletes != 2 {
+		t.Fatalf("batches=%d deletes=%d", batches, deletes)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := trace.SynthConfig{
+		Stream: synthStream(), Problems: []string{"BFS"},
+		QueriesPerBatch: 2, Seed: 3,
+	}
+	a := trace.Synthesize(cfg)
+	b := trace.Synthesize(cfg)
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("nondeterministic event count")
+	}
+	for i := range a.Events {
+		if a.Events[i].Kind != b.Events[i].Kind || a.Events[i].Source != b.Events[i].Source {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+// TestSynthesizedTraceReplays runs a synthesized workload end to end.
+func TestSynthesizedTraceReplays(t *testing.T) {
+	stream := synthStream()
+	g := streamgraph.New(stream.N, false)
+	g.InsertEdges(stream.Initial)
+	sys := newSystemWith(t, g, "BFS", "SSWP")
+
+	tr := trace.Synthesize(trace.SynthConfig{
+		Stream: stream, Problems: []string{"BFS", "SSWP"},
+		QueriesPerBatch: 2, DeleteEvery: 3, DeleteFraction: 0.1, Seed: 4,
+	})
+	res := trace.Replay(sys, tr)
+	if res.Errors != 0 {
+		t.Fatalf("replay errors: %d", res.Errors)
+	}
+	if res.Batches.Count == 0 {
+		t.Fatal("no batches replayed")
+	}
+}

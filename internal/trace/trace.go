@@ -1,0 +1,178 @@
+// Package trace records and replays mixed Tripoline workloads — update
+// batches, deletions, and user queries in arrival order — so a
+// production-shaped load can be captured once and replayed against
+// different configurations (K, problems, engine changes) with
+// comparable latency statistics.
+//
+// A Trace is JSON-serializable; Replay drives a core.System through it
+// and reports per-kind latency distributions.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"tripoline/internal/core"
+	"tripoline/internal/graph"
+)
+
+// Kind discriminates trace events.
+type Kind string
+
+// Event kinds.
+const (
+	KindBatch  Kind = "batch"
+	KindDelete Kind = "delete"
+	KindQuery  Kind = "query"
+)
+
+// Event is one workload step.
+type Event struct {
+	Kind    Kind         `json:"kind"`
+	Edges   []graph.Edge `json:"edges,omitempty"`   // batch/delete
+	Problem string       `json:"problem,omitempty"` // query
+	Source  uint32       `json:"source,omitempty"`  // query
+}
+
+// Trace is an ordered workload.
+type Trace struct {
+	Events []Event `json:"events"`
+}
+
+// AddBatch appends an insertion batch.
+func (t *Trace) AddBatch(edges []graph.Edge) {
+	t.Events = append(t.Events, Event{Kind: KindBatch, Edges: edges})
+}
+
+// AddDelete appends a deletion batch.
+func (t *Trace) AddDelete(edges []graph.Edge) {
+	t.Events = append(t.Events, Event{Kind: KindDelete, Edges: edges})
+}
+
+// AddQuery appends a user query.
+func (t *Trace) AddQuery(problem string, source graph.VertexID) {
+	t.Events = append(t.Events, Event{Kind: KindQuery, Problem: problem, Source: uint32(source)})
+}
+
+// Save serializes the trace as JSON.
+func (t *Trace) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// Load reads a trace written by Save.
+func Load(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &t, nil
+}
+
+// Latencies summarizes one event kind's observed latencies.
+type Latencies struct {
+	Count int
+	Min   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	Max   time.Duration
+	Total time.Duration
+}
+
+func summarize(ds []time.Duration) Latencies {
+	if len(ds) == 0 {
+		return Latencies{}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	var total time.Duration
+	for _, d := range ds {
+		total += d
+	}
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(ds)-1))
+		return ds[i]
+	}
+	return Latencies{
+		Count: len(ds),
+		Min:   ds[0],
+		P50:   at(0.50),
+		P95:   at(0.95),
+		Max:   ds[len(ds)-1],
+		Total: total,
+	}
+}
+
+// Result reports a replay.
+type Result struct {
+	Batches  Latencies
+	Deletes  Latencies
+	Queries  Latencies
+	PerQuery map[string]Latencies // keyed by problem
+	Errors   int
+}
+
+func (r Result) String() string {
+	s := fmt.Sprintf("replay: %d batches (p50 %v, p95 %v), %d deletes, %d queries (p50 %v, p95 %v), %d errors\n",
+		r.Batches.Count, r.Batches.P50.Round(time.Microsecond), r.Batches.P95.Round(time.Microsecond),
+		r.Deletes.Count,
+		r.Queries.Count, r.Queries.P50.Round(time.Microsecond), r.Queries.P95.Round(time.Microsecond),
+		r.Errors)
+	names := make([]string, 0, len(r.PerQuery))
+	for p := range r.PerQuery {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		l := r.PerQuery[p]
+		s += fmt.Sprintf("  %-8s n=%-4d p50=%-10v p95=%-10v max=%v\n",
+			p, l.Count, l.P50.Round(time.Microsecond), l.P95.Round(time.Microsecond),
+			l.Max.Round(time.Microsecond))
+	}
+	return s
+}
+
+// Replay drives sys through the trace in order and reports latency
+// distributions. Unknown problems and other per-event failures count as
+// errors but do not stop the replay.
+func Replay(sys *core.System, t *Trace) Result {
+	var batchLat, delLat, queryLat []time.Duration
+	perQuery := map[string][]time.Duration{}
+	errors := 0
+	for _, e := range t.Events {
+		switch e.Kind {
+		case KindBatch:
+			start := time.Now()
+			sys.ApplyBatch(e.Edges)
+			batchLat = append(batchLat, time.Since(start))
+		case KindDelete:
+			start := time.Now()
+			sys.ApplyDeletions(e.Edges)
+			delLat = append(delLat, time.Since(start))
+		case KindQuery:
+			start := time.Now()
+			if _, err := sys.Query(e.Problem, graph.VertexID(e.Source)); err != nil {
+				errors++
+				continue
+			}
+			d := time.Since(start)
+			queryLat = append(queryLat, d)
+			perQuery[e.Problem] = append(perQuery[e.Problem], d)
+		default:
+			errors++
+		}
+	}
+	res := Result{
+		Batches:  summarize(batchLat),
+		Deletes:  summarize(delLat),
+		Queries:  summarize(queryLat),
+		PerQuery: map[string]Latencies{},
+		Errors:   errors,
+	}
+	for p, ds := range perQuery {
+		res.PerQuery[p] = summarize(ds)
+	}
+	return res
+}

@@ -1,0 +1,125 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tripoline/internal/core"
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/streamgraph"
+	"tripoline/internal/trace"
+)
+
+func buildTrace() *trace.Trace {
+	tr := &trace.Trace{}
+	edges := gen.Uniform(80, 700, 8, 301)
+	tr.AddBatch(edges[:200])
+	tr.AddQuery("BFS", 5)
+	tr.AddBatch(edges[200:400])
+	tr.AddQuery("SSWP", 9)
+	tr.AddQuery("BFS", 11)
+	tr.AddDelete(edges[:30])
+	tr.AddQuery("SSWP", 22)
+	return tr
+}
+
+func newSystem(t *testing.T) *core.System {
+	t.Helper()
+	g := streamgraph.New(80, false)
+	g.InsertEdges(gen.Uniform(80, 300, 8, 303))
+	return newSystemWith(t, g, "BFS", "SSWP")
+}
+
+func newSystemWith(t *testing.T, g *streamgraph.Graph, problems ...string) *core.System {
+	t.Helper()
+	sys := core.NewSystem(g, 2)
+	for _, p := range problems {
+		if err := sys.Enable(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tr := buildTrace()
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("events %d vs %d", len(back.Events), len(tr.Events))
+	}
+	for i := range tr.Events {
+		a, b := tr.Events[i], back.Events[i]
+		if a.Kind != b.Kind || a.Problem != b.Problem || a.Source != b.Source ||
+			len(a.Edges) != len(b.Edges) {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := trace.Load(strings.NewReader("{nope")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReplayLatencies(t *testing.T) {
+	sys := newSystem(t)
+	res := trace.Replay(sys, buildTrace())
+	if res.Errors != 0 {
+		t.Fatalf("errors=%d", res.Errors)
+	}
+	if res.Batches.Count != 2 || res.Deletes.Count != 1 || res.Queries.Count != 4 {
+		t.Fatalf("counts %+v", res)
+	}
+	if res.Queries.P50 <= 0 || res.Queries.Max < res.Queries.P50 {
+		t.Fatalf("latencies implausible: %+v", res.Queries)
+	}
+	if res.PerQuery["BFS"].Count != 2 || res.PerQuery["SSWP"].Count != 2 {
+		t.Fatalf("per-query %+v", res.PerQuery)
+	}
+	if !strings.Contains(res.String(), "replay:") {
+		t.Fatal("string rendering empty")
+	}
+}
+
+func TestReplayCountsErrors(t *testing.T) {
+	sys := newSystem(t)
+	tr := &trace.Trace{}
+	tr.AddQuery("NotAProblem", 1)
+	tr.AddQuery("BFS", 1)
+	tr.Events = append(tr.Events, trace.Event{Kind: "bogus"})
+	res := trace.Replay(sys, tr)
+	if res.Errors != 2 {
+		t.Fatalf("errors=%d, want 2", res.Errors)
+	}
+	if res.Queries.Count != 1 {
+		t.Fatalf("queries=%d", res.Queries.Count)
+	}
+}
+
+// TestReplayQueryValuesCorrect verifies replay actually drives the real
+// system: after replaying, a direct query matches the expected state
+// (the trace's batches were applied).
+func TestReplayQueryValuesCorrect(t *testing.T) {
+	sys := newSystem(t)
+	edges := []graph.Edge{{Src: 0, Dst: 79, W: 1}}
+	tr := &trace.Trace{}
+	tr.AddBatch(edges)
+	trace.Replay(sys, tr)
+	res, err := sys.Query("BFS", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[79] != 1 {
+		t.Fatalf("batch from trace not applied: level(79)=%d", res.Values[79])
+	}
+}

@@ -1,0 +1,81 @@
+package triangle_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tripoline/internal/engine"
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/oracle"
+	"tripoline/internal/props"
+	"tripoline/internal/triangle"
+)
+
+// TestDeltaEqualsFullQuick fuzzes Theorem 4.4: random small graphs,
+// random (u, r) pairs, every problem — the Δ-seeded run must converge to
+// the oracle's values.
+func TestDeltaEqualsFullQuick(t *testing.T) {
+	reg := props.Registry()
+	names := []string{"BFS", "SSSP", "SSWP", "SSNP", "Viterbi", "SSR"}
+	f := func(seed uint64, rawU, rawR uint8, directed bool, pick uint8) bool {
+		const n = 48
+		m := 180 + int(seed%200)
+		g := graph.FromEdges(n, gen.Uniform(n, m, 8, seed), directed)
+		u := graph.VertexID(rawU) % n
+		r := graph.VertexID(rawR) % n
+		p := reg[names[int(pick)%len(names)]]
+
+		standing := oracle.BestPath(g, p, r)
+		var propUR uint64
+		if directed {
+			propUR = oracle.BestPathTo(g, p, r)[u]
+		} else {
+			propUR = standing[u]
+		}
+		init := triangle.DeltaInit(p, u, propUR, standing)
+		st := &engine.State{P: p, K: 1, N: n, Values: init}
+		st.RunPush(g, []graph.VertexID{u}, []uint64{1})
+
+		want := oracle.BestPath(g, p, u)
+		for v := range want {
+			if st.Values[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaInitNeverBeatsOracleQuick checks the inequality direction of
+// the Δ initialization itself on random graphs: Δ(u,r)[x] is never
+// strictly better than the true property(u,x).
+func TestDeltaInitNeverBeatsOracleQuick(t *testing.T) {
+	reg := props.Registry()
+	names := []string{"BFS", "SSSP", "SSWP", "SSNP", "Viterbi", "SSR"}
+	f := func(seed uint64, rawU, rawR uint8, pick uint8) bool {
+		const n = 40
+		g := graph.FromEdges(n, gen.Uniform(n, 160, 8, seed), false)
+		u := graph.VertexID(rawU) % n
+		r := graph.VertexID(rawR) % n
+		p := reg[names[int(pick)%len(names)]]
+		standing := oracle.BestPath(g, p, r)
+		init := triangle.DeltaInit(p, u, standing[u], standing)
+		want := oracle.BestPath(g, p, u)
+		for x := range want {
+			if graph.VertexID(x) == u {
+				continue // source slot holds SourceValue by construction
+			}
+			if p.Better(init[x], want[x]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package tripoline is a streaming graph processing system with
+// generalized incremental evaluation of vertex-specific queries, a Go
+// implementation of "Tripoline: Generalized Incremental Graph Processing
+// via Graph Triangle Inequality" (EuroSys 2021).
+//
+// A Graph grows by batches of weighted edge insertions. For each enabled
+// problem (BFS, SSSP, SSWP, SSNP, Viterbi, SSR, Radii, SSNSP — plus the
+// whole-graph PageRank and CC), the system keeps K standing queries
+// rooted at high-degree vertices incrementally up to date. A user query
+// with an arbitrary source vertex u is then answered incrementally: the
+// problem's graph triangle inequality turns the standing query's
+// converged property array into a valid warm-start initialization
+// Δ(u,r)[x] = property(u,r) ⊕ property(r,x), from which a monotonic
+// async-safe evaluation converges to exactly the from-scratch result —
+// typically after a small fraction of the work.
+//
+// Quick start:
+//
+//	g := tripoline.NewGraph(numVertices, tripoline.Undirected)
+//	g.InsertEdges(initialEdges)
+//	sys := tripoline.NewSystem(g, tripoline.WithStandingQueries(16))
+//	sys.Enable("SSWP")
+//	sys.ApplyBatch(moreEdges)          // stream; standing queries follow
+//	res, _ := sys.Query("SSWP", u)     // incremental, any source u
+//
+// Custom problems implement the Problem interface (the vertex function via
+// Relax/Better plus the triangle operators Combine/Better) and can be
+// registered alongside the built-ins; see the examples directory.
+package tripoline
+
+import (
+	"io"
+
+	"tripoline/internal/core"
+	"tripoline/internal/engine"
+	"tripoline/internal/graph"
+	"tripoline/internal/props"
+	"tripoline/internal/streamgraph"
+)
+
+// VertexID identifies a vertex; IDs are dense starting at 0.
+type VertexID = graph.VertexID
+
+// Weight is a positive integer edge weight.
+type Weight = graph.Weight
+
+// Edge is a weighted directed edge (mirrored automatically on undirected
+// graphs).
+type Edge = graph.Edge
+
+// Problem is the programming interface: the vertex function (Relax,
+// Better) plus the triangle abstraction operators (Combine with Better as
+// the comparison). See internal/props for the eight built-ins.
+type Problem = engine.Problem
+
+// Stats reports evaluation work: activations (vertex-function
+// evaluations), edge relaxations, successful updates, and iterations.
+type Stats = engine.Stats
+
+// QueryResult is the outcome of a user query.
+type QueryResult = core.QueryResult
+
+// BatchReport summarizes one applied update batch.
+type BatchReport = core.BatchReport
+
+// Snapshot is an immutable version of the streaming graph, safe for
+// concurrent readers.
+type Snapshot = streamgraph.Snapshot
+
+// Directedness selects the edge interpretation of a graph.
+type Directedness bool
+
+// Graph directedness values.
+const (
+	Undirected Directedness = false
+	Directed   Directedness = true
+)
+
+// Graph is the streaming (growing) graph.
+type Graph struct {
+	inner *streamgraph.Graph
+}
+
+// NewGraph creates an empty streaming graph over n vertices.
+func NewGraph(n int, d Directedness) *Graph {
+	return &Graph{inner: streamgraph.New(n, bool(d))}
+}
+
+// InsertEdges applies one batch of edge insertions and returns the new
+// snapshot plus the distinct source vertices whose adjacency changed.
+// When the graph is managed by a System, prefer System.ApplyBatch so the
+// standing queries are re-stabilized too.
+func (g *Graph) InsertEdges(batch []Edge) (*Snapshot, []VertexID) {
+	return g.inner.InsertEdges(batch)
+}
+
+// DeleteEdges removes a batch of edges (mirrors included on undirected
+// graphs). Prefer System.ApplyDeletions when the graph is managed by a
+// System so the standing queries are recovered too.
+func (g *Graph) DeleteEdges(batch []Edge) (*Snapshot, []VertexID) {
+	return g.inner.DeleteEdges(batch)
+}
+
+// Acquire returns the latest immutable snapshot.
+func (g *Graph) Acquire() *Snapshot { return g.inner.Acquire() }
+
+// Save writes the graph's current snapshot to w in a compressed binary
+// format (gap + varint encoded adjacency). Standing query state is not
+// persisted; re-enable problems after LoadGraph to rebuild it.
+func (g *Graph) Save(w io.Writer) error {
+	return streamgraph.Save(w, g.inner.Acquire(), g.inner.Directed())
+}
+
+// LoadGraph reads a graph previously written by Save.
+func LoadGraph(r io.Reader) (*Graph, error) {
+	inner, err := streamgraph.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{inner: inner}, nil
+}
+
+// Option configures a System.
+type Option func(*config)
+
+type config struct{ k int }
+
+// WithStandingQueries sets K, the number of standing queries maintained
+// per enabled problem (default 16, max 64).
+func WithStandingQueries(k int) Option {
+	return func(c *config) { c.k = k }
+}
+
+// System couples a streaming graph with standing-query maintenance and
+// Δ-based user query evaluation.
+type System struct {
+	inner *core.System
+	g     *Graph
+}
+
+// NewSystem wraps a streaming graph.
+func NewSystem(g *Graph, opts ...Option) *System {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return &System{inner: core.NewSystem(g.inner, c.k), g: g}
+}
+
+// Graph returns the underlying streaming graph.
+func (s *System) Graph() *Graph { return s.g }
+
+// Enable sets up and fully evaluates standing queries for a problem.
+// Recognized names: BFS, SSSP, SSWP, SSNP, Viterbi, SSR, Radii, SSNSP,
+// PageRank, CC.
+func (s *System) Enable(problem string) error { return s.inner.Enable(problem) }
+
+// EnableProblem registers a custom problem: implement Problem with a
+// monotonic, async-safe Relax and triangle-compatible Combine/Better,
+// and the system maintains standing queries for it and answers
+// arbitrary-source user queries Δ-based — the paper's programming
+// interface. See examples/customproblem.
+func (s *System) EnableProblem(p Problem) error { return s.inner.EnableCustom(p) }
+
+// Enabled lists the enabled problems.
+func (s *System) Enabled() []string { return s.inner.Enabled() }
+
+// ApplyBatch inserts edges and incrementally re-stabilizes every enabled
+// problem's standing queries.
+func (s *System) ApplyBatch(batch []Edge) BatchReport { return s.inner.ApplyBatch(batch) }
+
+// ApplyDeletions removes edges and recovers every enabled problem's
+// standing queries. Deletions break the monotonicity that incremental
+// resumption relies on, so recovery re-evaluates the standing queries
+// from scratch — always sound, if slower than an insertion batch.
+func (s *System) ApplyDeletions(batch []Edge) BatchReport {
+	return s.inner.ApplyDeletions(batch)
+}
+
+// Query evaluates a user query with Δ-based incremental evaluation: any
+// source vertex, no a priori registration needed.
+func (s *System) Query(problem string, source VertexID) (*QueryResult, error) {
+	return s.inner.Query(problem, source)
+}
+
+// QueryFull evaluates a user query from scratch (the non-incremental
+// baseline). Results are identical to Query's; only the work differs.
+func (s *System) QueryFull(problem string, source VertexID) (*QueryResult, error) {
+	return s.inner.QueryFull(problem, source)
+}
+
+// MultiResult is the outcome of a batched user-query evaluation.
+type MultiResult = core.MultiResult
+
+// QueryMany evaluates up to 64 same-problem user queries in one batched
+// Δ-based evaluation (the §4.5 batch mode applied to user queries):
+// identical values to per-query Query calls, with the graph and value
+// arrays traversed once.
+func (s *System) QueryMany(problem string, sources []VertexID) (*MultiResult, error) {
+	return s.inner.QueryMany(problem, sources)
+}
+
+// EnableHistory retains up to capacity past snapshots so QueryAt can
+// answer against earlier graph versions (time-travel queries). Purely
+// functional snapshots make retention nearly free.
+func (s *System) EnableHistory(capacity int) { s.inner.EnableHistory(capacity) }
+
+// HistoryVersions lists the retained snapshot versions.
+func (s *System) HistoryVersions() []uint64 { return s.inner.HistoryVersions() }
+
+// QueryAt evaluates a query against a retained historical version (full
+// evaluation — Δ-based bounds are only valid for the live version).
+func (s *System) QueryAt(version uint64, problem string, source VertexID) (*QueryResult, error) {
+	return s.inner.QueryAt(version, problem, source)
+}
+
+// RecordQueries toggles recording of user-query sources into a workload
+// histogram consumed by ReselectRoots.
+func (s *System) RecordQueries(on bool) { s.inner.RecordQueries(on) }
+
+// ReselectRoots re-roots a problem's standing queries using the recorded
+// query distribution blended with topology — the paper's §5 refinement
+// for workloads whose query hotspots drift. Without recorded history it
+// falls back to the top-degree rule.
+func (s *System) ReselectRoots(problem string) error { return s.inner.ReselectRoots(problem) }
+
+// FormatValue renders an encoded vertex value human-readably for the
+// named built-in problem (e.g. "dist 17", "width ∞", "unreachable").
+func FormatValue(problem string, value uint64) string {
+	return props.Format(problem, value)
+}
+
+// BuiltinProblems lists the problem names Enable accepts: the paper's
+// eight vertex-specific benchmarks plus the whole-graph PageRank and CC.
+func BuiltinProblems() []string {
+	return append(props.Names(), "PageRank", "CC")
+}
+
+// StandingMaintainTime reports the wall time the named problem spent in
+// its most recent standing-query (re-)evaluation.
+func (s *System) StandingMaintainTime(problem string) (float64, error) {
+	d, err := s.inner.StandingMaintainTime(problem)
+	return d.Seconds(), err
+}
