@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"tripoline/internal/bench"
+	"tripoline/internal/gen"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 		batches  = flag.Int("batches", 1, "update batches applied per load point (paper: 5)")
 		probs    = flag.String("problems", "", "comma-separated problem subset (default: all eight)")
 		graphs   = flag.String("graphs", "", "comma-separated graph subset (default: all four)")
+		ablate   = flag.String("ablate", "", "comma-separated ablations to run (flat, batch, selection, dual)")
 		seed     = flag.Uint64("seed", 0x7121, "experiment seed")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 		verify   = flag.Bool("verify", false, "run the cross-validation self-check instead of benchmarks")
@@ -116,8 +118,50 @@ func main() {
 		selected = true
 		run("figure 12", func() { report.Fig12 = bench.Figure12(o) })
 	}
+	if *ablate != "" {
+		graphsForAblation := o.Graphs
+		if len(graphsForAblation) == 0 {
+			graphsForAblation = []string{"OR-sim", "FR-sim", "LJ-sim", "TW-sim"}
+		}
+		for _, a := range strings.Split(*ablate, ",") {
+			selected = true
+			switch strings.TrimSpace(a) {
+			case "flat":
+				run("ablation flat", func() {
+					for _, g := range graphsForAblation {
+						report.AddAblationFlat(bench.AblationFlat(
+							os.Stdout, g, "SSSP", o.Scale, o.K, o.Queries, o.BatchSize, o.Seed))
+					}
+				})
+			case "batch":
+				run("ablation batch", func() {
+					for _, g := range graphsForAblation {
+						bench.AblationBatchMode(os.Stdout, g, o.Scale, o.K, o.BatchSize, o.Seed)
+					}
+				})
+			case "selection":
+				run("ablation selection", func() {
+					for _, g := range graphsForAblation {
+						bench.AblationSelection(os.Stdout, g, "SSSP", o.Scale, o.K, o.Queries, o.Seed)
+					}
+				})
+			case "dual":
+				run("ablation dual", func() {
+					for _, g := range graphsForAblation {
+						if cfg, ok := gen.ByName(g, o.Scale); !ok || !cfg.Directed {
+							continue // the dual-model tradeoff only exists on directed graphs
+						}
+						bench.AblationDualModel(os.Stdout, g, o.Scale, o.Seed)
+					}
+				})
+			default:
+				fmt.Fprintf(os.Stderr, "unknown ablation %q (want flat, batch, selection, dual)\n", a)
+				os.Exit(2)
+			}
+		}
+	}
 	if !selected {
-		fmt.Fprintln(os.Stderr, "nothing selected: pass -all, -table N, or -figure N")
+		fmt.Fprintln(os.Stderr, "nothing selected: pass -all, -table N, -figure N, or -ablate NAME")
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tripoline/internal/core"
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/streamgraph"
+	"tripoline/internal/xrand"
+)
+
+// AblationFlatResult compares the flat-adjacency fast path against the
+// C-tree walk, end-to-end through the system: one standing-maintenance
+// batch plus a Table-3-shaped user-query workload, run twice on
+// identically built systems that differ only in SetFlatten.
+type AblationFlatResult struct {
+	Graph   string
+	Problem string
+	K       int
+	Queries int
+	// FlattenBuild is the one-time cost of materializing the mirror for
+	// the loaded snapshot — the price a new snapshot version pays.
+	FlattenBuild time.Duration
+	// Standing maintenance time for one update batch, each mode.
+	TreeStanding time.Duration
+	FlatStanding time.Duration
+	// Summed user-query evaluation seconds over all sampled sources.
+	TreeDeltaSec float64 // Δ-based (incremental) queries
+	FlatDeltaSec float64
+	TreeFullSec  float64 // from-scratch queries
+	FlatFullSec  float64
+	// Speedups (tree time / flat time; >1 means flattening won).
+	StandingSpeedup float64
+	DeltaSpeedup    float64
+	FullSpeedup     float64
+}
+
+// AblationFlat measures the flat-mirror fast path on the named graph at
+// 60% load: it builds two systems over identical streams — one with
+// SetFlatten(false), one with the default mirror — prices the one-time
+// Flatten, applies one update batch to each (standing maintenance), and
+// evaluates the same sampled user queries both Δ-based and from scratch
+// in both modes. Every query's values are asserted equal across modes,
+// so the ablation doubles as the fallback-path correctness check.
+func AblationFlat(w io.Writer, gname, problem string, scale, k, queries, batchSize int, seed uint64) AblationFlatResult {
+	cfg, ok := gen.ByName(gname, scale)
+	if !ok {
+		panic("bench: unknown graph " + gname)
+	}
+	edges := gen.RMAT(cfg)
+	stream := gen.MakeStream(cfg.N(), edges, cfg.Directed, 0.6, batchSize, seed)
+
+	res := AblationFlatResult{Graph: gname, Problem: problem, K: k, Queries: queries}
+
+	build := func(flatten bool) *core.System {
+		g := streamgraph.New(cfg.N(), cfg.Directed)
+		g.InsertEdges(stream.Initial)
+		sys := core.NewSystem(g, k)
+		sys.SetFlatten(flatten)
+		if flatten {
+			// Price the one-time mirror build before Enable reuses it.
+			t0 := time.Now()
+			g.Acquire().Flatten()
+			res.FlattenBuild = time.Since(t0)
+		}
+		if err := sys.Enable(problem); err != nil {
+			panic(err)
+		}
+		return sys
+	}
+	flat := build(true)
+	tree := build(false)
+
+	res.FlatStanding = flat.ApplyBatch(stream.Batches[0]).StandingElapsed
+	res.TreeStanding = tree.ApplyBatch(stream.Batches[0]).StandingElapsed
+
+	// Sample non-trivial sources (out-degree > 2, per §6.1) from the
+	// post-batch snapshot — identical in both systems by construction.
+	snap := flat.G.Acquire()
+	rng := xrand.New(seed + 77)
+	seen := map[graph.VertexID]bool{}
+	var sources []graph.VertexID
+	for attempts := 0; len(sources) < queries && attempts < 50*queries+1000; attempts++ {
+		v := graph.VertexID(rng.Intn(snap.NumVertices()))
+		if seen[v] || snap.Degree(v) <= 2 {
+			continue
+		}
+		seen[v] = true
+		sources = append(sources, v)
+	}
+
+	for _, u := range sources {
+		ff, err := flat.QueryFull(problem, u)
+		if err != nil {
+			panic(err)
+		}
+		fd, err := flat.Query(problem, u)
+		if err != nil {
+			panic(err)
+		}
+		tf, err := tree.QueryFull(problem, u)
+		if err != nil {
+			panic(err)
+		}
+		td, err := tree.Query(problem, u)
+		if err != nil {
+			panic(err)
+		}
+		for i := range ff.Values {
+			if ff.Values[i] != tf.Values[i] || fd.Values[i] != td.Values[i] {
+				panic(fmt.Sprintf("ablation: flat and tree diverged at %s(%d) value %d", problem, u, i))
+			}
+		}
+		res.FlatFullSec += ff.Elapsed.Seconds()
+		res.FlatDeltaSec += fd.Elapsed.Seconds()
+		res.TreeFullSec += tf.Elapsed.Seconds()
+		res.TreeDeltaSec += td.Elapsed.Seconds()
+	}
+
+	if res.FlatStanding > 0 {
+		res.StandingSpeedup = float64(res.TreeStanding) / float64(res.FlatStanding)
+	}
+	if res.FlatDeltaSec > 0 {
+		res.DeltaSpeedup = res.TreeDeltaSec / res.FlatDeltaSec
+	}
+	if res.FlatFullSec > 0 {
+		res.FullSpeedup = res.TreeFullSec / res.FlatFullSec
+	}
+
+	fmt.Fprintf(w, "Ablation (flat, %s on %s, K=%d, %d queries): build=%v standing %v→%v (%.2fx) Δ-queries %.3fs→%.3fs (%.2fx) full %.3fs→%.3fs (%.2fx)\n",
+		problem, gname, k, len(sources),
+		res.FlattenBuild.Round(time.Microsecond),
+		res.TreeStanding.Round(time.Microsecond), res.FlatStanding.Round(time.Microsecond), res.StandingSpeedup,
+		res.TreeDeltaSec, res.FlatDeltaSec, res.DeltaSpeedup,
+		res.TreeFullSec, res.FlatFullSec, res.FullSpeedup)
+	return res
+}

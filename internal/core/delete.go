@@ -42,12 +42,13 @@ func (s *System) ApplyDeletions(batch []graph.Edge) BatchReport {
 	start := time.Now()
 	if len(changed) > 0 {
 		undirected := !s.G.Directed()
+		view := s.viewOf(snap)
 		for _, name := range s.order {
 			switch h := s.handlers[name].(type) {
 			case trimmer:
-				rep.StandingStats.Add(h.recoverDeletions(snap, batch, undirected))
+				rep.StandingStats.Add(h.recoverDeletions(view, batch, undirected))
 			case rebuilder:
-				rep.StandingStats.Add(h.rebuild(snap))
+				rep.StandingStats.Add(h.rebuild(view))
 			}
 		}
 	}

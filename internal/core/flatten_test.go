@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"testing"
+
+	"tripoline/internal/core"
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/streamgraph"
+)
+
+// TestFlattenToggleEquivalence streams the same workload through two
+// systems — one on the flat-mirror fast path (the default), one forced
+// onto the C-tree fallback — and requires bit-identical query results.
+// This is the correctness half of the `-ablate flat` experiment.
+func TestFlattenToggleEquivalence(t *testing.T) {
+	problems := []string{"BFS", "SSSP", "SSWP", "Radii", "SSNSP"}
+	build := func(flatten bool) *core.System {
+		edges := gen.Uniform(160, 1400, 8, 21)
+		g := streamgraph.New(160, true)
+		g.InsertEdges(edges[:1000])
+		sys := core.NewSystem(g, 4)
+		sys.SetFlatten(flatten)
+		for _, p := range problems {
+			if err := sys.Enable(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sys.ApplyBatch(edges[1000:1200])
+		sys.ApplyBatch(edges[1200:])
+		return sys
+	}
+	flat := build(true)
+	tree := build(false)
+
+	for _, name := range problems {
+		for _, u := range []graph.VertexID{0, 13, 77, 159} {
+			for _, full := range []bool{false, true} {
+				query := flat.Query
+				tq := tree.Query
+				if full {
+					query, tq = flat.QueryFull, tree.QueryFull
+				}
+				fr, err := query(name, u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr, err := tq(name, u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(fr.Values) != len(tr.Values) {
+					t.Fatalf("%s u=%d full=%v: widths differ", name, u, full)
+				}
+				for i := range fr.Values {
+					if fr.Values[i] != tr.Values[i] {
+						t.Fatalf("%s u=%d full=%v: value[%d] = %d flat vs %d tree",
+							name, u, full, i, fr.Values[i], tr.Values[i])
+					}
+				}
+				for i := range fr.Counts {
+					if fr.Counts[i] != tr.Counts[i] {
+						t.Fatalf("%s u=%d full=%v: count[%d] differs", name, u, full, i)
+					}
+				}
+				if fr.Radius != tr.Radius {
+					t.Fatalf("%s u=%d full=%v: radius %d flat vs %d tree",
+						name, u, full, fr.Radius, tr.Radius)
+				}
+			}
+		}
+	}
+
+	// Batched user queries take the same view.
+	sources := []graph.VertexID{3, 44, 90, 121}
+	fm, err := flat.QueryMany("SSSP", sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := tree.QueryMany("SSSP", sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fm.Values {
+		if fm.Values[i] != tm.Values[i] {
+			t.Fatalf("QueryMany value[%d] = %d flat vs %d tree", i, fm.Values[i], tm.Values[i])
+		}
+	}
+
+	// Deletion recovery also runs over the chosen view.
+	del := []graph.Edge{{Src: 13, Dst: 77, W: 1}}
+	flat.ApplyDeletions(del)
+	tree.ApplyDeletions(del)
+	fr, _ := flat.Query("SSSP", 13)
+	tr, _ := tree.Query("SSSP", 13)
+	for i := range fr.Values {
+		if fr.Values[i] != tr.Values[i] {
+			t.Fatalf("post-deletion value[%d] = %d flat vs %d tree", i, fr.Values[i], tr.Values[i])
+		}
+	}
+}

@@ -64,7 +64,7 @@ func (s *System) QueryMany(problem string, sources []graph.VertexID) (*MultiResu
 		}
 		s.observe(u)
 	}
-	return mq.queryMulti(s.G.Acquire(), sources)
+	return mq.queryMulti(s.view(), sources)
 }
 
 func (h *simpleHandler) queryMulti(g engine.View, sources []graph.VertexID) (*MultiResult, error) {

@@ -60,7 +60,7 @@ func (s *System) ReselectRoots(problem string) error {
 	}
 	snap := s.G.Acquire()
 	roots := standing.WeightedRoots(snap, s.hist, s.K)
-	r.reselect(snap, roots)
+	r.reselect(s.viewOf(snap), roots)
 	return nil
 }
 

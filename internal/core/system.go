@@ -93,6 +93,9 @@ type System struct {
 	// history, when non-nil, retains past snapshots for QueryAt
 	// (see EnableHistory).
 	history *streamgraph.History
+	// flatten selects the evaluation view handed to the engine: the
+	// snapshot's flat CSR mirror (default) or the C-tree directly.
+	flatten bool
 }
 
 // NewSystem wraps a streaming graph. k is the number of standing queries
@@ -107,7 +110,31 @@ func NewSystem(g *streamgraph.Graph, k int) *System {
 	if k > 64 {
 		k = 64
 	}
-	return &System{G: g, K: k, handlers: make(map[string]handler)}
+	return &System{G: g, K: k, handlers: make(map[string]handler), flatten: true}
+}
+
+// SetFlatten toggles the flat-adjacency fast path. When on (the default)
+// every standing maintenance pass and user query evaluates over the
+// snapshot's flat CSR mirror (built once per snapshot version, shared by
+// all readers, dropped with the snapshot); when off the engine walks the
+// C-tree directly. Results are identical either way — the toggle exists
+// for the `-ablate flat` experiment and for memory-constrained runs that
+// would rather not hold the mirror.
+func (s *System) SetFlatten(on bool) { s.flatten = on }
+
+// viewOf returns the engine view of snap under the current flatten
+// setting. Flatten is cached per snapshot (sync.Once), so repeated calls
+// against one version pay the build exactly once.
+func (s *System) viewOf(snap *streamgraph.Snapshot) engine.View {
+	if s.flatten {
+		return snap.Flatten()
+	}
+	return snap
+}
+
+// view acquires the current snapshot and returns its engine view.
+func (s *System) view() engine.View {
+	return s.viewOf(s.G.Acquire())
 }
 
 // TopDegreeRoots returns the top-k out-degree vertices of the snapshot —
@@ -145,19 +172,20 @@ func (s *System) Enable(name string) error {
 	}
 	snap := s.G.Acquire()
 	roots := TopDegreeRoots(snap, s.K)
+	view := s.viewOf(snap)
 	var h handler
 	switch name {
 	case "BFS", "SSSP", "SSWP", "SSNP", "Viterbi", "SSR":
 		p := props.Registry()[name]
-		h = &simpleHandler{mgr: standing.New(p, snap, roots, s.G.Directed())}
+		h = &simpleHandler{mgr: standing.New(p, view, roots, s.G.Directed())}
 	case "Radii":
-		h = newRadiiHandler(snap, roots, s.G.Directed())
+		h = newRadiiHandler(view, roots, s.G.Directed())
 	case "SSNSP":
-		h = newSSNSPHandler(snap, roots, s.G.Directed())
+		h = newSSNSPHandler(view, roots, s.G.Directed())
 	case "PageRank":
-		h = newPageRankHandler(snap)
+		h = newPageRankHandler(view)
 	case "CC":
-		h = newCCHandler(snap)
+		h = newCCHandler(view)
 	default:
 		return fmt.Errorf("core: unknown problem %q", name)
 	}
@@ -179,7 +207,7 @@ func (s *System) EnableCustom(p engine.Problem) error {
 	}
 	snap := s.G.Acquire()
 	roots := TopDegreeRoots(snap, s.K)
-	s.handlers[name] = &simpleHandler{mgr: standing.New(p, snap, roots, s.G.Directed())}
+	s.handlers[name] = &simpleHandler{mgr: standing.New(p, s.viewOf(snap), roots, s.G.Directed())}
 	s.order = append(s.order, name)
 	return nil
 }
@@ -197,8 +225,9 @@ func (s *System) ApplyBatch(batch []graph.Edge) BatchReport {
 		Version:        snap.Version(),
 	}
 	start := time.Now()
+	view := s.viewOf(snap)
 	for _, name := range s.order {
-		rep.StandingStats.Add(s.handlers[name].update(snap, changed))
+		rep.StandingStats.Add(s.handlers[name].update(view, changed))
 	}
 	rep.StandingElapsed = time.Since(start)
 	s.recordHistory()
@@ -233,7 +262,7 @@ func (s *System) Query(name string, u graph.VertexID) (*QueryResult, error) {
 		return nil, err
 	}
 	s.observe(u)
-	return h.queryDelta(s.G.Acquire(), u), nil
+	return h.queryDelta(s.view(), u), nil
 }
 
 // QueryFull answers a user query with a from-scratch (non-incremental)
@@ -246,7 +275,7 @@ func (s *System) QueryFull(name string, u graph.VertexID) (*QueryResult, error) 
 	if err := s.checkSource(u); err != nil {
 		return nil, err
 	}
-	return h.queryFull(s.G.Acquire(), u), nil
+	return h.queryFull(s.view(), u), nil
 }
 
 // ---------------------------------------------------------------------

@@ -12,6 +12,8 @@
 package engine
 
 import (
+	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"tripoline/internal/bitset"
@@ -25,6 +27,20 @@ type View interface {
 	NumVertices() int
 	Degree(v graph.VertexID) int
 	ForEachOut(v graph.VertexID, f func(dst graph.VertexID, w graph.Weight))
+}
+
+// FlatView is the engine's fast-path extension of View: a graph whose
+// adjacency is stored in flat arrays and can be handed out as slices.
+// RunPush/RunPull detect it by type assertion and iterate edges with
+// plain loops — no closure or interface call per edge — falling back to
+// ForEachOut otherwise. *graph.CSR and *streamgraph.Flat satisfy it;
+// the tree-backed *streamgraph.Snapshot deliberately does not, so
+// callers choose when to pay the one-time Flatten.
+type FlatView interface {
+	View
+	// OutSpan returns v's sorted out-neighbor and weight slices. The
+	// slices alias the graph and must not be modified.
+	OutSpan(v graph.VertexID) ([]graph.VertexID, []graph.Weight)
 }
 
 // Problem defines one vertex-specific graph problem over encoded values.
@@ -58,6 +74,9 @@ type Stats struct {
 	Relaxations int64 // edge relaxations attempted
 	Updates     int64 // relaxations that changed a value
 	Iterations  int
+	// DenseIterations counts the RunPush iterations that used the dense
+	// (whole-vertex-sweep) frontier representation.
+	DenseIterations int
 }
 
 // Add accumulates other into s.
@@ -66,6 +85,7 @@ func (s *Stats) Add(other Stats) {
 	s.Relaxations += other.Relaxations
 	s.Updates += other.Updates
 	s.Iterations += other.Iterations
+	s.DenseIterations += other.DenseIterations
 }
 
 // State is a K-wide evaluation state: for each vertex v and query slot
@@ -140,8 +160,56 @@ type frontier struct {
 // when more than n/denseFraction vertices are active, the engine skips
 // materializing the sparse active list and sweeps all vertices checking
 // their masks — cheaper and more cache-friendly for the huge mid-BFS
-// frontiers of power-law graphs.
-const denseFraction = 16
+// frontiers of power-law graphs. It is a variable only so tests can pin
+// one representation and compare results across the switch.
+var denseFraction = 16
+
+// onIteration, when non-nil, observes each RunPush iteration's frontier
+// representation. Test hook; nil in production.
+var onIteration func(dense bool)
+
+// workCounter accumulates one worker's engine statistics. Workers index
+// a []workCounter by the stable id parallel.ForRangeID hands them, so
+// the hot loop needs no atomic adds; the pad keeps neighboring workers'
+// slots on separate cache lines.
+type workCounter struct {
+	acts, relax, upd int64
+	_                [5]int64
+}
+
+// pushScratch is the O(N) working state of one RunPush evaluation,
+// recycled through a pool: the Table 3 workload runs hundreds of user
+// queries per snapshot, and without pooling each one allocates (and
+// faults in) three N-sized arrays just to throw them away.
+type pushScratch struct {
+	masks, next []uint64
+	inNext      *bitset.Atomic
+}
+
+var pushScratchPool sync.Pool
+
+// getPushScratch returns scratch able to hold n vertices with all masks
+// zero and the bitset empty. RunPush always returns its scratch drained
+// (every mask it sets is cleared before it exits, and slots past the
+// active length were zeroed by whichever earlier run sized them), so
+// pooled buffers are handed out without an O(N) re-zeroing sweep.
+func getPushScratch(n int) *pushScratch {
+	if s, _ := pushScratchPool.Get().(*pushScratch); s != nil {
+		if cap(s.masks) >= n && s.inNext.Len() >= n {
+			s.masks = s.masks[:n]
+			s.next = s.next[:n]
+			return s
+		}
+		// Too small for this graph: drop it and allocate at the new size.
+	}
+	return &pushScratch{
+		masks:  make([]uint64, n),
+		next:   make([]uint64, n),
+		inNext: bitset.NewAtomic(n),
+	}
+}
+
+func putPushScratch(s *pushScratch) { pushScratchPool.Put(s) }
 
 // RunPush evaluates the state to convergence with the push model, starting
 // from the given seed vertices with the given per-seed active masks
@@ -154,10 +222,13 @@ func (st *State) RunPush(g View, seeds []graph.VertexID, seedMasks []uint64) Sta
 	if n > st.N {
 		st.Grow(n)
 	}
+	fv, _ := g.(FlatView)
 	var stats Stats
-	cur := frontier{masks: make([]uint64, st.N)}
-	nextMasks := make([]uint64, st.N)
-	inNext := bitset.NewAtomic(st.N)
+	scr := getPushScratch(st.N)
+	defer putPushScratch(scr)
+	cur := frontier{masks: scr.masks}
+	nextMasks := scr.next
+	inNext := scr.inNext
 
 	for i, v := range seeds {
 		m := seedMasks[i]
@@ -172,48 +243,83 @@ func (st *State) RunPush(g View, seeds []graph.VertexID, seedMasks []uint64) Sta
 
 	K := st.K
 	p := st.P
-	var acts, relax, upd atomic.Int64
-	process := func(u graph.VertexID) {
+	counters := make([]workCounter, parallel.MaxWorkers())
+	// process runs the vertex function for every active query slot of u
+	// and clears u's frontier mask (each u is processed at most once per
+	// iteration, and the owner is the only reader of its mask).
+	process := func(c *workCounter, u graph.VertexID) {
 		mask := cur.masks[u]
 		if mask == 0 {
 			return
 		}
-		acts.Add(int64(popcount(mask)))
+		cur.masks[u] = 0
+		c.acts += int64(bits.OnesCount64(mask))
 		base := int(u) * K
 		var r, w int64
-		g.ForEachOut(u, func(d graph.VertexID, wgt graph.Weight) {
-			dbase := int(d) * K
-			for m := mask; m != 0; m &= m - 1 {
-				k := trailing(m)
-				srcVal := atomic.LoadUint64(&st.Values[base+k])
-				cand, ok := p.Relax(srcVal, wgt)
-				if !ok {
-					continue
-				}
-				r++
-				if casImprove(&st.Values[dbase+k], cand, p) {
-					w++
-					markActive(nextMasks, inNext, d, k)
+		if fv != nil {
+			// Flat fast path: plain loops over the adjacency slices.
+			dsts, ws := fv.OutSpan(u)
+			for i, d := range dsts {
+				wgt := ws[i]
+				dbase := int(d) * K
+				for m := mask; m != 0; m &= m - 1 {
+					k := bits.TrailingZeros64(m)
+					srcVal := atomic.LoadUint64(&st.Values[base+k])
+					cand, ok := p.Relax(srcVal, wgt)
+					if !ok {
+						continue
+					}
+					r++
+					if casImprove(&st.Values[dbase+k], cand, p) {
+						w++
+						markActive(nextMasks, inNext, d, k)
+					}
 				}
 			}
-		})
-		relax.Add(r)
-		upd.Add(w)
+		} else {
+			g.ForEachOut(u, func(d graph.VertexID, wgt graph.Weight) {
+				dbase := int(d) * K
+				for m := mask; m != 0; m &= m - 1 {
+					k := bits.TrailingZeros64(m)
+					srcVal := atomic.LoadUint64(&st.Values[base+k])
+					cand, ok := p.Relax(srcVal, wgt)
+					if !ok {
+						continue
+					}
+					r++
+					if casImprove(&st.Values[dbase+k], cand, p) {
+						w++
+						markActive(nextMasks, inNext, d, k)
+					}
+				}
+			})
+		}
+		c.relax += r
+		c.upd += w
 	}
 
 	dense := false
 	active := len(cur.verts)
 	for active > 0 {
 		stats.Iterations++
+		if onIteration != nil {
+			onIteration(dense)
+		}
 		if dense {
-			parallel.ForGrain(n, 128, func(v int) { process(graph.VertexID(v)) })
-			// Clear all masks we might have set (dense: unknown members).
-			parallel.For(n, func(v int) { cur.masks[v] = 0 })
+			stats.DenseIterations++
+			parallel.ForRangeID(n, 128, func(wid, start, end int) {
+				c := &counters[wid]
+				for v := start; v < end; v++ {
+					process(c, graph.VertexID(v))
+				}
+			})
 		} else {
-			parallel.ForGrain(len(cur.verts), 64, func(i int) { process(cur.verts[i]) })
-			for _, v := range cur.verts {
-				cur.masks[v] = 0
-			}
+			parallel.ForRangeID(len(cur.verts), 64, func(wid, start, end int) {
+				c := &counters[wid]
+				for i := start; i < end; i++ {
+					process(c, cur.verts[i])
+				}
+			})
 		}
 		// Swap frontiers. Above the density threshold the next round
 		// sweeps masks directly; below it, materialize the sparse list.
@@ -235,9 +341,11 @@ func (st *State) RunPush(g View, seeds []graph.VertexID, seedMasks []uint64) Sta
 		inNext.Reset()
 		active = count
 	}
-	stats.Activations = acts.Load()
-	stats.Relaxations = relax.Load()
-	stats.Updates = upd.Load()
+	for i := range counters {
+		stats.Activations += counters[i].acts
+		stats.Relaxations += counters[i].relax
+		stats.Updates += counters[i].upd
+	}
 	return stats
 }
 
@@ -272,23 +380,6 @@ func casImprove(addr *uint64, cand uint64, p Problem) bool {
 	}
 }
 
-func popcount(x uint64) int {
-	c := 0
-	for ; x != 0; x &= x - 1 {
-		c++
-	}
-	return c
-}
-
-func trailing(x uint64) int {
-	k := 0
-	for x&1 == 0 {
-		x >>= 1
-		k++
-	}
-	return k
-}
-
 // RunPull evaluates the state to convergence with the pull model: each
 // round, every vertex recomputes its value from its out-neighbors'
 // values. With property(x) interpreted as property(x, source), this
@@ -304,42 +395,69 @@ func (st *State) RunPull(g View, stats *Stats) {
 	if n > st.N {
 		st.Grow(n)
 	}
+	fv, _ := g.(FlatView)
 	K := st.K
 	p := st.P
+	counters := make([]workCounter, parallel.MaxWorkers())
 	for {
 		stats.Iterations++
 		var changed atomic.Bool
-		var acts, relax, upd atomic.Int64
-		parallel.ForGrain(n, 64, func(v int) {
-			base := v * K
+		parallel.ForRangeID(n, 64, func(wid, start, end int) {
+			c := &counters[wid]
 			var r, w int64
-			g.ForEachOut(graph.VertexID(v), func(d graph.VertexID, wgt graph.Weight) {
-				dbase := int(d) * K
-				for k := 0; k < K; k++ {
-					nv := atomic.LoadUint64(&st.Values[dbase+k])
-					cand, ok := p.Relax(nv, wgt)
-					if !ok {
-						continue
+			for v := start; v < end; v++ {
+				base := v * K
+				if fv != nil {
+					// Flat fast path: plain loops over the adjacency
+					// slices.
+					dsts, ws := fv.OutSpan(graph.VertexID(v))
+					for i, d := range dsts {
+						wgt := ws[i]
+						dbase := int(d) * K
+						for k := 0; k < K; k++ {
+							nv := atomic.LoadUint64(&st.Values[dbase+k])
+							cand, ok := p.Relax(nv, wgt)
+							if !ok {
+								continue
+							}
+							r++
+							if casImprove(&st.Values[base+k], cand, p) {
+								w++
+							}
+						}
 					}
-					r++
-					if casImprove(&st.Values[base+k], cand, p) {
-						w++
-					}
+				} else {
+					g.ForEachOut(graph.VertexID(v), func(d graph.VertexID, wgt graph.Weight) {
+						dbase := int(d) * K
+						for k := 0; k < K; k++ {
+							nv := atomic.LoadUint64(&st.Values[dbase+k])
+							cand, ok := p.Relax(nv, wgt)
+							if !ok {
+								continue
+							}
+							r++
+							if casImprove(&st.Values[base+k], cand, p) {
+								w++
+							}
+						}
+					})
 				}
-			})
-			acts.Add(int64(K))
-			relax.Add(r)
-			upd.Add(w)
+			}
+			c.acts += int64(K) * int64(end-start)
+			c.relax += r
+			c.upd += w
 			if w > 0 {
 				changed.Store(true)
 			}
 		})
-		stats.Activations += acts.Load()
-		stats.Relaxations += relax.Load()
-		stats.Updates += upd.Load()
 		if !changed.Load() {
-			return
+			break
 		}
+	}
+	for i := range counters {
+		stats.Activations += counters[i].acts
+		stats.Relaxations += counters[i].relax
+		stats.Updates += counters[i].upd
 	}
 }
 

@@ -57,6 +57,13 @@ func (g *CSR) Neighbors(v VertexID) ([]VertexID, []Weight) {
 	return g.Adj[lo:hi], g.Wgt[lo:hi]
 }
 
+// OutSpan returns the sorted out-neighbor and weight slices of v (it
+// satisfies the engine's FlatView fast-path interface). The slices alias
+// the graph and must not be modified.
+func (g *CSR) OutSpan(v VertexID) ([]VertexID, []Weight) {
+	return g.Neighbors(v)
+}
+
 // ForEachOut calls f(dst, w) for every out-edge of v.
 func (g *CSR) ForEachOut(v VertexID, f func(dst VertexID, w Weight)) {
 	lo, hi := g.Off[v], g.Off[v+1]

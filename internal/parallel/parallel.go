@@ -11,6 +11,7 @@
 package parallel
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -133,6 +134,54 @@ func Workers(n int) int {
 	return p
 }
 
+// MaxWorkers returns the upper bound on the worker index ForRangeID may
+// pass to its body — callers size per-worker accumulator arrays with it.
+func MaxWorkers() int { return maxProcs() }
+
+// ForRangeID is ForRange with a stable worker index: body(worker, start,
+// end) runs chunks like ForRange, with worker < MaxWorkers() identifying
+// the executing goroutine. Two invocations with the same worker index
+// never run concurrently, so per-worker accumulators need no atomics —
+// the reduction pattern the engine's hot loops use instead of per-chunk
+// atomic adds.
+func ForRangeID(n, grain int, body func(worker, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p := maxProcs()
+	if p == 1 || n <= grain {
+		body(0, 0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := p
+	if w := (n + grain - 1) / grain; w < workers {
+		workers = w
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(grain))) - grain
+				if start >= n {
+					return
+				}
+				end := start + grain
+				if end > n {
+					end = n
+				}
+				body(id, start, end)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // SumInt64 computes sum over i in [0,n) of f(i) in parallel.
 func SumInt64(n int, f func(i int) int64) int64 {
 	if n <= 0 {
@@ -157,9 +206,18 @@ func SumInt64(n int, f func(i int) int64) int64 {
 	return total.Load()
 }
 
-// SumFloat64 computes sum over i in [0,n) of f(i) in parallel.
-// The reduction order is nondeterministic; callers that need bitwise
-// reproducibility should reduce serially.
+// pad64 pads a per-worker accumulator slot out to a cache line so
+// neighboring workers do not false-share.
+type pad64 struct {
+	f float64
+	i int64
+	_ [6]int64
+}
+
+// SumFloat64 computes sum over i in [0,n) of f(i) in parallel using
+// per-worker partial sums merged once at the end — no locks on the hot
+// path. The reduction order is nondeterministic; callers that need
+// bitwise reproducibility should reduce serially.
 func SumFloat64(n int, f func(i int) float64) float64 {
 	if n <= 0 {
 		return 0
@@ -172,42 +230,50 @@ func SumFloat64(n int, f func(i int) float64) float64 {
 		}
 		return s
 	}
-	var mu sync.Mutex
-	var total float64
-	ForRange(n, DefaultGrain, func(start, end int) {
+	locals := make([]pad64, MaxWorkers())
+	ForRangeID(n, DefaultGrain, func(w, start, end int) {
 		var local float64
 		for i := start; i < end; i++ {
 			local += f(i)
 		}
-		mu.Lock()
-		total += local
-		mu.Unlock()
+		locals[w].f += local
 	})
+	var total float64
+	for i := range locals {
+		total += locals[i].f
+	}
 	return total
 }
 
-// MaxInt64 computes the maximum of f(i) over [0,n); it returns def for n==0.
+// MaxInt64 computes the maximum of f(i) over [0,n); it returns def for
+// n==0 only — for n>0 the result is the true maximum even when every
+// f(i) is below def. Per-worker partial maxima are seeded with the first
+// value of each worker's first chunk and merged once at the end.
 func MaxInt64(n int, def int64, f func(i int) int64) int64 {
 	if n <= 0 {
 		return def
 	}
-	var mu sync.Mutex
-	best := def
-	first := true
-	ForRange(n, DefaultGrain, func(start, end int) {
+	locals := make([]pad64, MaxWorkers())
+	for w := range locals {
+		locals[w].i = math.MinInt64 // identity for max
+	}
+	ForRangeID(n, DefaultGrain, func(w, start, end int) {
 		local := f(start)
 		for i := start + 1; i < end; i++ {
 			if v := f(i); v > local {
 				local = v
 			}
 		}
-		mu.Lock()
-		if first || local > best {
-			best = local
-			first = false
+		if local > locals[w].i {
+			locals[w].i = local
 		}
-		mu.Unlock()
 	})
+	best := locals[0].i
+	for w := 1; w < len(locals); w++ {
+		if locals[w].i > best {
+			best = locals[w].i
+		}
+	}
 	return best
 }
 

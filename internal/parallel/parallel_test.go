@@ -99,6 +99,62 @@ func TestMaxInt64(t *testing.T) {
 	}
 }
 
+func TestMaxInt64AllNegative(t *testing.T) {
+	// Regression: the max of all-negative inputs must win over a larger
+	// default — def only applies to n==0 — both below the parallel
+	// cutoff (n < grain) and above it.
+	for _, n := range []int{1, 3, DefaultGrain - 1, DefaultGrain, 4 * DefaultGrain, 10_000} {
+		got := MaxInt64(n, 0, func(i int) int64 { return -int64(i) - 1 })
+		if got != -1 {
+			t.Fatalf("n=%d: MaxInt64 = %d, want -1", n, got)
+		}
+	}
+}
+
+func TestSumFloat64SmallN(t *testing.T) {
+	// n < grain takes the serial path; the parallel path must agree.
+	for _, n := range []int{1, 2, DefaultGrain, DefaultGrain + 1, 3000} {
+		got := SumFloat64(n, func(i int) float64 { return float64(i) })
+		want := float64(n) * float64(n-1) / 2
+		if got != want {
+			t.Fatalf("n=%d: SumFloat64 = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestForRangeIDCoversAllAndBoundsWorkers(t *testing.T) {
+	const n = 5000
+	hits := make([]atomic.Int32, n)
+	maxW := MaxWorkers()
+	ForRangeID(n, 64, func(w, start, end int) {
+		if w < 0 || w >= maxW {
+			t.Errorf("worker id %d out of [0,%d)", w, maxW)
+		}
+		for i := start; i < end; i++ {
+			hits[i].Add(1)
+		}
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d hit %d times", i, hits[i].Load())
+		}
+	}
+	// Per-worker slots accumulate without atomics.
+	locals := make([]pad64, maxW)
+	ForRangeID(n, 64, func(w, start, end int) {
+		for i := start; i < end; i++ {
+			locals[w].i += int64(i)
+		}
+	})
+	var sum int64
+	for w := range locals {
+		sum += locals[w].i
+	}
+	if want := int64(n) * (n - 1) / 2; sum != want {
+		t.Fatalf("per-worker sum = %d, want %d", sum, want)
+	}
+}
+
 func TestMaxInt64Quick(t *testing.T) {
 	f := func(vals []int64) bool {
 		if len(vals) == 0 {

@@ -1,0 +1,99 @@
+package streamgraph
+
+import (
+	"tripoline/internal/ctree"
+	"tripoline/internal/graph"
+	"tripoline/internal/parallel"
+)
+
+// Flat is a packed CSR-style mirror of one snapshot: the out-edges of
+// vertex v are adj[off[v]:off[v+1]] with weights at the same positions
+// in wgt, sorted by destination (the C-tree iteration order). It exists
+// because Tripoline's workload is build-once, read-many: after a batch
+// lands, the same immutable snapshot is traversed by K standing-query
+// maintenance rounds plus every user query until the next batch, and a
+// flat slab turns each of those per-edge tree walks into an array scan.
+//
+// A Flat satisfies the engine's View interface (plus its FlatView fast
+// path via OutSpan), so it can be passed anywhere a snapshot can. It is
+// immutable and safe for concurrent readers.
+type Flat struct {
+	off     []int64
+	adj     []graph.VertexID
+	wgt     []graph.Weight
+	n       int
+	version uint64
+}
+
+// flattenGrain is the vertex-chunk size used when filling the slab in
+// parallel; with power-law degrees the dynamic chunk scheduler evens
+// out the skew.
+const flattenGrain = 256
+
+// Flatten materializes (once) and returns the flat-adjacency mirror of
+// this snapshot. The first caller pays the build; every subsequent
+// caller on the same snapshot gets the cached slab. Safe for concurrent
+// use.
+func (s *Snapshot) Flatten() *Flat {
+	s.flatOnce.Do(func() { s.flat = buildFlat(s) })
+	return s.flat
+}
+
+func buildFlat(s *Snapshot) *Flat {
+	n := s.n
+	off := make([]int64, n+1)
+	parallel.For(n, func(v int) {
+		off[v+1] = int64(s.table.Get(v).Size())
+	})
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	adj := make([]graph.VertexID, off[n])
+	wgt := make([]graph.Weight, off[n])
+	parallel.ForRange(n, flattenGrain, func(start, end int) {
+		i := off[start]
+		for v := start; v < end; v++ {
+			s.table.Get(v).ForEach(func(e uint64) {
+				adj[i] = ctree.Key(e)
+				wgt[i] = ctree.Payload(e)
+				i++
+			})
+		}
+	})
+	return &Flat{off: off, adj: adj, wgt: wgt, n: n, version: s.version}
+}
+
+// NumVertices returns the number of vertices.
+func (f *Flat) NumVertices() int { return f.n }
+
+// NumEdges returns the number of stored arcs.
+func (f *Flat) NumEdges() int64 { return f.off[f.n] }
+
+// Version returns the version of the snapshot this mirror was built
+// from.
+func (f *Flat) Version() uint64 { return f.version }
+
+// Degree returns the out-degree of v.
+func (f *Flat) Degree(v graph.VertexID) int {
+	return int(f.off[v+1] - f.off[v])
+}
+
+// OutSpan returns the out-neighbor and weight slices of v, sorted by
+// destination. The slices alias the mirror and must not be modified.
+// This is the engine's FlatView fast path: edge iteration becomes a
+// plain loop over two arrays, with no interface or closure call per
+// edge.
+func (f *Flat) OutSpan(v graph.VertexID) ([]graph.VertexID, []graph.Weight) {
+	lo, hi := f.off[v], f.off[v+1]
+	return f.adj[lo:hi], f.wgt[lo:hi]
+}
+
+// ForEachOut calls fn(dst, w) for every out-edge of v in ascending
+// destination order (View-interface compatibility; the engine prefers
+// OutSpan).
+func (f *Flat) ForEachOut(v graph.VertexID, fn func(dst graph.VertexID, w graph.Weight)) {
+	lo, hi := f.off[v], f.off[v+1]
+	for i := lo; i < hi; i++ {
+		fn(f.adj[i], f.wgt[i])
+	}
+}

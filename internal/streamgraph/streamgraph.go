@@ -30,6 +30,13 @@ type Snapshot struct {
 	n       int
 	m       int64
 	version uint64
+
+	// flat is the lazily built flat-adjacency mirror of this version
+	// (see Flatten). Built at most once per snapshot and shared by all
+	// readers; it dies with the snapshot, so a new batch (= new
+	// snapshot) naturally invalidates it.
+	flatOnce sync.Once
+	flat     *Flat
 }
 
 // NumVertices returns the number of vertices.
