@@ -15,12 +15,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"tripoline/internal/core"
 	"tripoline/internal/gen"
@@ -38,6 +43,12 @@ func main() {
 		probs    = flag.String("problems", "SSWP,SSSP,BFS", "problems to enable")
 		k        = flag.Int("k", 16, "standing queries per problem")
 		seed     = flag.Uint64("seed", 42, "seed for synthetic graphs")
+
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-query deadline (0 disables)")
+		writeTimeout = flag.Duration("write-timeout", 2*time.Minute, "per-batch admission deadline (0 disables)")
+		maxInFlight  = flag.Int("max-inflight", 0, "max concurrent evaluations (0 = unbounded)")
+		queueDepth   = flag.Int("queue-depth", 64, "admission wait-queue depth once -max-inflight is reached")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight queries at shutdown")
 	)
 	flag.Parse()
 
@@ -73,5 +84,32 @@ func main() {
 	snap := g.Acquire()
 	fmt.Printf("tripoline-server: %d vertices, %d arcs, problems %v, listening on %s\n",
 		snap.NumVertices(), snap.NumEdges(), sys.Enabled(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(sys, g)))
+
+	srv := server.New(sys, g,
+		server.WithQueryTimeout(*queryTimeout),
+		server.WithWriteTimeout(*writeTimeout),
+		server.WithMaxInFlight(*maxInFlight, *queueDepth),
+	)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop admitting (503), let
+	// in-flight queries run out under -drain-timeout, then close.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("tripoline-server: draining (up to %v)", *drainWait)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("tripoline-server: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("tripoline-server: shutdown: %v", err)
+	}
 }

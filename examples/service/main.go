@@ -7,12 +7,15 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"strings"
+	"time"
 
 	"tripoline/internal/core"
 	"tripoline/internal/gen"
@@ -36,7 +39,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: server.New(sys, g)}
+	// Production-shaped options: a per-query deadline (enforced by the
+	// engine at superstep boundaries) and a bounded admission gate.
+	api := server.New(sys, g,
+		server.WithQueryTimeout(5*time.Second),
+		server.WithMaxInFlight(4, 16),
+	)
+	srv := &http.Server{Handler: api}
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
@@ -91,4 +100,18 @@ func main() {
 		fmt.Printf("SSWP(%d) over HTTP: %d reachable, %d with bottleneck ≥8, "+
 			"%d activations in %.4fs\n", src, reach, wide, q.Activations, q.Seconds)
 	}
+
+	// The serving layer counts everything it did; scrape it.
+	r, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "tripoline_queries_total") ||
+			strings.HasPrefix(line, "tripoline_batches_total") {
+			fmt.Println("metric:", line)
+		}
+	}
+	r.Body.Close()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"tripoline/internal/engine"
@@ -33,6 +34,18 @@ type trimmer interface {
 // KickStarter idea the paper cites); the whole-graph handlers
 // re-evaluate from scratch, which is always sound.
 func (s *System) ApplyDeletions(batch []graph.Edge) BatchReport {
+	rep, _ := s.ApplyDeletionsCtx(context.Background(), batch)
+	return rep
+}
+
+// ApplyDeletionsCtx is ApplyDeletions with context-based admission: like
+// ApplyBatchCtx, cancellation is honored only before the mutation begins;
+// once started, deletion recovery always completes so the standing state
+// stays converged for its snapshot version.
+func (s *System) ApplyDeletionsCtx(ctx context.Context, batch []graph.Edge) (BatchReport, error) {
+	if err := ctx.Err(); err != nil {
+		return BatchReport{}, &engine.CanceledError{Cause: err}
+	}
 	snap, changed := s.G.DeleteEdges(batch)
 	rep := BatchReport{
 		BatchEdges:     len(batch),
@@ -54,7 +67,7 @@ func (s *System) ApplyDeletions(batch []graph.Edge) BatchReport {
 	}
 	rep.StandingElapsed = time.Since(start)
 	s.recordHistory()
-	return rep
+	return rep, nil
 }
 
 func (h *simpleHandler) recoverDeletions(g engine.View, deleted []graph.Edge, undirected bool) engine.Stats {

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"errors"
+
+	"tripoline/internal/engine"
+)
+
+// Typed failure classes of the system API. Every error the System returns
+// wraps exactly one of these sentinels (match with errors.Is), so callers
+// — the HTTP server in particular — can map failures to behavior without
+// parsing message strings. The wrapped messages still carry the specific
+// detail (which problem, which source, which version).
+var (
+	// ErrUnknownProblem: the named problem is not enabled (or, for
+	// Enable, not a recognized built-in).
+	ErrUnknownProblem = errors.New("unknown or not-enabled problem")
+
+	// ErrSourceOutOfRange: a query source vertex is not in [0, NumVertices).
+	ErrSourceOutOfRange = errors.New("source vertex out of range")
+
+	// ErrNoSuchVersion: QueryAt named a version that is not retained
+	// (history disabled, never recorded, or already evicted).
+	ErrNoSuchVersion = errors.New("graph version not retained")
+
+	// ErrCanceled: the evaluation was stopped by its context — the
+	// engine's sentinel re-exported so callers need not import engine.
+	// The concrete error also unwraps to the context cause
+	// (context.Canceled or context.DeadlineExceeded).
+	ErrCanceled = engine.ErrCanceled
+)

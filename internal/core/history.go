@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"tripoline/internal/graph"
@@ -37,18 +38,26 @@ func (s *System) HistoryVersions() []uint64 {
 // QueryAt answers a user query against the retained snapshot with the
 // given version, via full evaluation.
 func (s *System) QueryAt(version uint64, problem string, u graph.VertexID) (*QueryResult, error) {
+	return s.QueryAtCtx(context.Background(), version, problem, u)
+}
+
+// QueryAtCtx is QueryAt with cooperative cancellation — historical
+// queries are full evaluations, the most expensive kind, so deadlines
+// matter most here.
+func (s *System) QueryAtCtx(ctx context.Context, version uint64, problem string, u graph.VertexID) (*QueryResult, error) {
 	if s.history == nil {
-		return nil, fmt.Errorf("core: history not enabled")
+		return nil, fmt.Errorf("core: history not enabled: %w", ErrNoSuchVersion)
 	}
 	snap, ok := s.history.AtVersion(version)
 	if !ok {
-		return nil, fmt.Errorf("core: version %d not retained (have %v)", version, s.history.Versions())
+		return nil, fmt.Errorf("core: version %d not retained (have %v): %w",
+			version, s.history.Versions(), ErrNoSuchVersion)
 	}
-	h, okP := s.handlers[problem]
-	if !okP {
-		return nil, fmt.Errorf("core: problem %q not enabled", problem)
+	h, err := s.lookup(problem)
+	if err != nil {
+		return nil, err
 	}
-	return h.queryFull(snap, u), nil
+	return h.queryFull(ctx, snap, u)
 }
 
 // recordHistory is called after every graph mutation.

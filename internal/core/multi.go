@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,16 +38,23 @@ func (r *MultiResult) Value(x graph.VertexID, j int) uint64 {
 // multiQuerier is implemented by handlers whose problems support batched
 // user queries (the six simple triangle problems and custom problems).
 type multiQuerier interface {
-	queryMulti(g engine.View, sources []graph.VertexID) (*MultiResult, error)
+	queryMulti(ctx context.Context, g engine.View, sources []graph.VertexID) (*MultiResult, error)
 }
 
 // QueryMany evaluates up to 64 same-problem user queries in one batched
 // Δ-based evaluation. The result values are identical to issuing each
 // Query separately; the work is the batch-mode coalesced version.
 func (s *System) QueryMany(problem string, sources []graph.VertexID) (*MultiResult, error) {
-	h, ok := s.handlers[problem]
-	if !ok {
-		return nil, fmt.Errorf("core: problem %q not enabled", problem)
+	return s.QueryManyCtx(context.Background(), problem, sources)
+}
+
+// QueryManyCtx is QueryMany with cooperative cancellation: one deadline
+// covers the whole batch (the batch runs under a single combined
+// frontier, so per-query cancellation is not meaningful).
+func (s *System) QueryManyCtx(ctx context.Context, problem string, sources []graph.VertexID) (*MultiResult, error) {
+	h, err := s.lookup(problem)
+	if err != nil {
+		return nil, err
 	}
 	mq, ok := h.(multiQuerier)
 	if !ok {
@@ -64,10 +72,10 @@ func (s *System) QueryMany(problem string, sources []graph.VertexID) (*MultiResu
 		}
 		s.observe(u)
 	}
-	return mq.queryMulti(s.view(), sources)
+	return mq.queryMulti(ctx, s.view(), sources)
 }
 
-func (h *simpleHandler) queryMulti(g engine.View, sources []graph.VertexID) (*MultiResult, error) {
+func (h *simpleHandler) queryMulti(ctx context.Context, g engine.View, sources []graph.VertexID) (*MultiResult, error) {
 	start := time.Now()
 	p := h.mgr.Problem
 	n := g.NumVertices()
@@ -78,8 +86,12 @@ func (h *simpleHandler) queryMulti(g engine.View, sources []graph.VertexID) (*Mu
 		Slots:  make([]int, w), PropURs: make([]uint64, w),
 	}
 	// Δ-initialize each slot from its own best standing root, laid out
-	// with stride w for coalesced access.
+	// with stride w for coalesced access. Each column is an O(N) pass, so
+	// cancellation is honored between slots too.
 	for j, u := range sources {
+		if err := ctx.Err(); err != nil {
+			return nil, &engine.CanceledError{Cause: err}
+		}
 		slot, propUR := h.mgr.Select(u)
 		res.Slots[j], res.PropURs[j] = slot, propUR
 		col := triangle.DeltaInitStrided(p, u, propUR,
@@ -90,7 +102,11 @@ func (h *simpleHandler) queryMulti(g engine.View, sources []graph.VertexID) (*Mu
 	}
 	st := &engine.State{P: p, K: w, N: n, Values: res.Values}
 	seeds, masks := sourceSeeds(sources)
-	res.Stats = st.RunPush(g, seeds, masks)
+	var err error
+	res.Stats, err = st.RunPushCtx(ctx, g, seeds, masks)
+	if err != nil {
+		return nil, err
+	}
 	res.Values = st.Values
 	res.Elapsed = time.Since(start)
 	return res, nil

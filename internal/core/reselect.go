@@ -50,9 +50,9 @@ type reselecter interface {
 // the periodic adaptation step for workloads whose query hotspots drift.
 // Without recorded history the selection equals the top-degree rule.
 func (s *System) ReselectRoots(problem string) error {
-	h, ok := s.handlers[problem]
-	if !ok {
-		return fmt.Errorf("core: problem %q not enabled", problem)
+	h, err := s.lookup(problem)
+	if err != nil {
+		return err
 	}
 	r, ok := h.(reselecter)
 	if !ok {

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -73,11 +74,15 @@ type BatchReport struct {
 
 // handler is the per-problem strategy: simple triangle problems, Radii,
 // SSNSP, and the whole-graph queries each maintain and answer differently.
+// Query evaluation takes the request context and stops at the engine's
+// superstep boundaries when it is canceled; standing maintenance (update)
+// deliberately does not — a half-maintained standing set would desync
+// from its snapshot version, so updates always run to completion.
 type handler interface {
 	update(g engine.View, changed []graph.VertexID) engine.Stats
 	lastMaintain() time.Duration
-	queryDelta(g engine.View, u graph.VertexID) *QueryResult
-	queryFull(g engine.View, u graph.VertexID) *QueryResult
+	queryDelta(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error)
+	queryFull(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error)
 }
 
 // System is a Tripoline instance over one streaming graph.
@@ -187,7 +192,7 @@ func (s *System) Enable(name string) error {
 	case "CC":
 		h = newCCHandler(view)
 	default:
-		return fmt.Errorf("core: unknown problem %q", name)
+		return fmt.Errorf("core: unknown problem %q: %w", name, ErrUnknownProblem)
 	}
 	s.handlers[name] = h
 	s.order = append(s.order, name)
@@ -218,6 +223,23 @@ func (s *System) Enabled() []string { return append([]string(nil), s.order...) }
 // ApplyBatch inserts an edge batch into the streaming graph and
 // incrementally re-stabilizes every enabled standing query.
 func (s *System) ApplyBatch(batch []graph.Edge) BatchReport {
+	rep, _ := s.ApplyBatchCtx(context.Background(), batch)
+	return rep
+}
+
+// ApplyBatchCtx is ApplyBatch with context-based admission: a context
+// that is already canceled (or past its deadline) rejects the batch
+// before any mutation, returning an ErrCanceled-wrapping error. Once the
+// insertion begins the batch always runs to completion, standing
+// maintenance included — honoring cancellation mid-maintenance would
+// leave some problems' standing state stale relative to the new snapshot
+// version and silently shrink every later query's Δ warm start, so the
+// update path trades cancellation granularity for an invariant: standing
+// state is always converged for the version it is paired with.
+func (s *System) ApplyBatchCtx(ctx context.Context, batch []graph.Edge) (BatchReport, error) {
+	if err := ctx.Err(); err != nil {
+		return BatchReport{}, &engine.CanceledError{Cause: err}
+	}
 	snap, changed := s.G.InsertEdges(batch)
 	rep := BatchReport{
 		BatchEdges:     len(batch),
@@ -231,7 +253,7 @@ func (s *System) ApplyBatch(batch []graph.Edge) BatchReport {
 	}
 	rep.StandingElapsed = time.Since(start)
 	s.recordHistory()
-	return rep
+	return rep, nil
 }
 
 // StandingMaintainTime returns the wall time of the named problem's most
@@ -239,43 +261,68 @@ func (s *System) ApplyBatch(batch []graph.Edge) BatchReport {
 func (s *System) StandingMaintainTime(name string) (time.Duration, error) {
 	h, ok := s.handlers[name]
 	if !ok {
-		return 0, fmt.Errorf("core: problem %q not enabled", name)
+		return 0, fmt.Errorf("core: problem %q not enabled: %w", name, ErrUnknownProblem)
 	}
 	return h.lastMaintain(), nil
+}
+
+// lookup resolves an enabled problem's handler.
+func (s *System) lookup(name string) (handler, error) {
+	h, ok := s.handlers[name]
+	if !ok {
+		return nil, fmt.Errorf("core: problem %q not enabled: %w", name, ErrUnknownProblem)
+	}
+	return h, nil
 }
 
 // checkSource validates a user-query source against the current graph.
 func (s *System) checkSource(u graph.VertexID) error {
 	if n := s.G.Acquire().NumVertices(); int(u) >= n {
-		return fmt.Errorf("core: source %d out of range (graph has %d vertices)", u, n)
+		return fmt.Errorf("core: source %d out of range (graph has %d vertices): %w",
+			u, n, ErrSourceOutOfRange)
 	}
 	return nil
 }
 
 // Query answers a user query with Δ-based incremental evaluation.
 func (s *System) Query(name string, u graph.VertexID) (*QueryResult, error) {
-	h, ok := s.handlers[name]
-	if !ok {
-		return nil, fmt.Errorf("core: problem %q not enabled", name)
+	return s.QueryCtx(context.Background(), name, u)
+}
+
+// QueryCtx is Query with cooperative cancellation: the engine checks ctx
+// at every superstep boundary, so a deadline or a dropped client stops
+// the convergence loop promptly and the call returns an
+// ErrCanceled-wrapping error. The standing arrays are never touched by a
+// user query (Δ-initialization copies out of them), so cancellation at
+// any point is safe.
+func (s *System) QueryCtx(ctx context.Context, name string, u graph.VertexID) (*QueryResult, error) {
+	h, err := s.lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	if err := s.checkSource(u); err != nil {
 		return nil, err
 	}
 	s.observe(u)
-	return h.queryDelta(s.view(), u), nil
+	return h.queryDelta(ctx, s.view(), u)
 }
 
 // QueryFull answers a user query with a from-scratch (non-incremental)
 // evaluation — the baseline the paper's speedups compare against.
 func (s *System) QueryFull(name string, u graph.VertexID) (*QueryResult, error) {
-	h, ok := s.handlers[name]
-	if !ok {
-		return nil, fmt.Errorf("core: problem %q not enabled", name)
+	return s.QueryFullCtx(context.Background(), name, u)
+}
+
+// QueryFullCtx is QueryFull with cooperative cancellation (see QueryCtx).
+func (s *System) QueryFullCtx(ctx context.Context, name string, u graph.VertexID) (*QueryResult, error) {
+	h, err := s.lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	if err := s.checkSource(u); err != nil {
 		return nil, err
 	}
-	return h.queryFull(s.view(), u), nil
+	return h.queryFull(ctx, s.view(), u)
 }
 
 // ---------------------------------------------------------------------
@@ -291,27 +338,33 @@ func (h *simpleHandler) update(g engine.View, changed []graph.VertexID) engine.S
 
 func (h *simpleHandler) lastMaintain() time.Duration { return h.mgr.LastMaintain }
 
-func (h *simpleHandler) queryDelta(g engine.View, u graph.VertexID) *QueryResult {
+func (h *simpleHandler) queryDelta(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error) {
 	start := time.Now()
 	init, slot, propUR := h.mgr.DeltaFor(u)
 	st := &engine.State{P: h.mgr.Problem, K: 1, N: len(init), Values: init}
-	stats := st.RunPush(g, []graph.VertexID{u}, []uint64{1})
+	stats, err := st.RunPushCtx(ctx, g, []graph.VertexID{u}, []uint64{1})
+	if err != nil {
+		return nil, err
+	}
 	return &QueryResult{
 		Problem: h.mgr.Problem.Name(), Source: u,
 		Values: st.Values, Width: 1,
 		Stats: stats, Elapsed: time.Since(start),
 		Incremental: true, StandingSlot: slot, PropUR: propUR,
-	}
+	}, nil
 }
 
-func (h *simpleHandler) queryFull(g engine.View, u graph.VertexID) *QueryResult {
+func (h *simpleHandler) queryFull(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error) {
 	start := time.Now()
-	st, stats := engine.Run(g, h.mgr.Problem, []graph.VertexID{u})
+	st, stats, err := engine.RunCtx(ctx, g, h.mgr.Problem, []graph.VertexID{u})
+	if err != nil {
+		return nil, err
+	}
 	return &QueryResult{
 		Problem: h.mgr.Problem.Name(), Source: u,
 		Values: st.Values, Width: 1,
 		Stats: stats, Elapsed: time.Since(start),
-	}
+	}, nil
 }
 
 // ---------------------------------------------------------------------
@@ -346,14 +399,19 @@ func radiiSources(u graph.VertexID, n int) []graph.VertexID {
 	return out
 }
 
-func (h *radiiHandler) queryDelta(g engine.View, u graph.VertexID) *QueryResult {
+func (h *radiiHandler) queryDelta(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error) {
 	start := time.Now()
 	n := g.NumVertices()
 	sources := radiiSources(u, n)
 	w := len(sources)
 	st := engine.NewState(props.SSSP{}, n, w)
-	// Δ-initialize each slot from its best standing root.
+	// Δ-initialize each slot from its best standing root. Each column is
+	// an O(N) pass, so the 16-slot setup honors cancellation between
+	// slots as well as inside the engine run.
 	for j, src := range sources {
+		if err := ctx.Err(); err != nil {
+			return nil, &engine.CanceledError{Cause: err}
+		}
 		slot, propUR := h.mgr.Select(src)
 		col := triangle.DeltaInitStrided(props.SSSP{}, src, propUR,
 			h.mgr.Forward.Values, h.mgr.Forward.K, slot, n)
@@ -362,27 +420,33 @@ func (h *radiiHandler) queryDelta(g engine.View, u graph.VertexID) *QueryResult 
 		}
 	}
 	seeds, masks := sourceSeeds(sources)
-	stats := st.RunPush(g, seeds, masks)
+	stats, err := st.RunPushCtx(ctx, g, seeds, masks)
+	if err != nil {
+		return nil, err
+	}
 	return &QueryResult{
 		Problem: "Radii", Source: u,
 		Values: st.Values, Width: w,
 		Radius: props.RadiiEstimate(st.Values, n, w),
 		Stats:  stats, Elapsed: time.Since(start),
 		Incremental: true,
-	}
+	}, nil
 }
 
-func (h *radiiHandler) queryFull(g engine.View, u graph.VertexID) *QueryResult {
+func (h *radiiHandler) queryFull(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error) {
 	start := time.Now()
 	n := g.NumVertices()
 	sources := radiiSources(u, n)
-	st, stats := engine.Run(g, props.SSSP{}, sources)
+	st, stats, err := engine.RunCtx(ctx, g, props.SSSP{}, sources)
+	if err != nil {
+		return nil, err
+	}
 	return &QueryResult{
 		Problem: "Radii", Source: u,
 		Values: st.Values, Width: len(sources),
 		Radius: props.RadiiEstimate(st.Values, n, len(sources)),
 		Stats:  stats, Elapsed: time.Since(start),
-	}
+	}, nil
 }
 
 // sourceSeeds folds duplicate sources into combined masks.
@@ -448,11 +512,14 @@ func (h *ssnspHandler) update(g engine.View, changed []graph.VertexID) engine.St
 
 func (h *ssnspHandler) lastMaintain() time.Duration { return h.last }
 
-func (h *ssnspHandler) queryDelta(g engine.View, u graph.VertexID) *QueryResult {
+func (h *ssnspHandler) queryDelta(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error) {
 	start := time.Now()
 	init, slot, propUR := h.mgr.DeltaFor(u)
 	initCopy := append([]uint64(nil), init...)
-	res := props.RunSSNSPDelta(g, u, init)
+	res, err := props.RunSSNSPDeltaCtx(ctx, g, u, init)
+	if err != nil {
+		return nil, err
+	}
 	res.PredicateRate = props.PredicateRate(initCopy, res.Levels)
 	stats := res.LevelStats
 	stats.Add(res.CountStats)
@@ -462,12 +529,15 @@ func (h *ssnspHandler) queryDelta(g engine.View, u graph.VertexID) *QueryResult 
 		Stats: stats, CountStats: res.CountStats,
 		Elapsed:     time.Since(start),
 		Incremental: true, StandingSlot: slot, PropUR: propUR,
-	}
+	}, nil
 }
 
-func (h *ssnspHandler) queryFull(g engine.View, u graph.VertexID) *QueryResult {
+func (h *ssnspHandler) queryFull(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error) {
 	start := time.Now()
-	res := props.RunSSNSP(g, u)
+	res, err := props.RunSSNSPCtx(ctx, g, u)
+	if err != nil {
+		return nil, err
+	}
 	stats := res.LevelStats
 	stats.Add(res.CountStats)
 	return &QueryResult{
@@ -475,7 +545,7 @@ func (h *ssnspHandler) queryFull(g engine.View, u graph.VertexID) *QueryResult {
 		Values: res.Levels, Width: 1, Counts: res.Counts,
 		Stats: stats, CountStats: res.CountStats,
 		Elapsed: time.Since(start),
-	}
+	}, nil
 }
 
 // ---------------------------------------------------------------------
@@ -504,23 +574,27 @@ func (h *pageRankHandler) update(g engine.View, _ []graph.VertexID) engine.Stats
 
 func (h *pageRankHandler) lastMaintain() time.Duration { return h.last }
 
-func (h *pageRankHandler) queryDelta(_ engine.View, u graph.VertexID) *QueryResult {
+func (h *pageRankHandler) queryDelta(_ context.Context, _ engine.View, u graph.VertexID) (*QueryResult, error) {
+	// Answered instantly from the standing ranks — nothing to cancel.
 	vals := make([]uint64, len(h.ranks))
 	for i, r := range h.ranks {
 		vals[i] = floatBits(r)
 	}
-	return &QueryResult{Problem: "PageRank", Source: u, Values: vals, Width: 1, Incremental: true}
+	return &QueryResult{Problem: "PageRank", Source: u, Values: vals, Width: 1, Incremental: true}, nil
 }
 
-func (h *pageRankHandler) queryFull(g engine.View, u graph.VertexID) *QueryResult {
+func (h *pageRankHandler) queryFull(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error) {
 	start := time.Now()
-	res := props.PageRank(g, 0.85, 100, 1e-9)
+	res, err := props.PageRankCtx(ctx, g, 0.85, 100, 1e-9)
+	if err != nil {
+		return nil, err
+	}
 	vals := make([]uint64, len(res.Ranks))
 	for i, r := range res.Ranks {
 		vals[i] = floatBits(r)
 	}
 	return &QueryResult{Problem: "PageRank", Source: u, Values: vals, Width: 1,
-		Stats: engine.Stats{Iterations: res.Iterations}, Elapsed: time.Since(start)}
+		Stats: engine.Stats{Iterations: res.Iterations}, Elapsed: time.Since(start)}, nil
 }
 
 type ccHandler struct {
@@ -543,16 +617,20 @@ func (h *ccHandler) update(g engine.View, changed []graph.VertexID) engine.Stats
 
 func (h *ccHandler) lastMaintain() time.Duration { return h.last }
 
-func (h *ccHandler) queryDelta(_ engine.View, u graph.VertexID) *QueryResult {
+func (h *ccHandler) queryDelta(_ context.Context, _ engine.View, u graph.VertexID) (*QueryResult, error) {
+	// Answered instantly from the standing labels — nothing to cancel.
 	vals := append([]uint64(nil), h.st.Values...)
-	return &QueryResult{Problem: "CC", Source: u, Values: vals, Width: 1, Incremental: true}
+	return &QueryResult{Problem: "CC", Source: u, Values: vals, Width: 1, Incremental: true}, nil
 }
 
-func (h *ccHandler) queryFull(g engine.View, u graph.VertexID) *QueryResult {
+func (h *ccHandler) queryFull(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error) {
 	start := time.Now()
-	st, stats := props.ConnectedComponents(g)
+	st, stats, err := props.ConnectedComponentsCtx(ctx, g)
+	if err != nil {
+		return nil, err
+	}
 	return &QueryResult{Problem: "CC", Source: u, Values: append([]uint64(nil), st.Values...),
-		Width: 1, Stats: stats, Elapsed: time.Since(start)}
+		Width: 1, Stats: stats, Elapsed: time.Since(start)}, nil
 }
 
 func floatBits(f float64) uint64 { return math.Float64bits(f) }

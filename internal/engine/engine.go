@@ -12,6 +12,9 @@
 package engine
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -20,6 +23,35 @@ import (
 	"tripoline/internal/graph"
 	"tripoline/internal/parallel"
 )
+
+// ErrCanceled is the sentinel for an evaluation stopped by its context.
+// Match it with errors.Is; the concrete error is a *CanceledError
+// carrying the partial-progress details and the context's cause.
+var ErrCanceled = errors.New("engine: evaluation canceled")
+
+// CanceledError reports an evaluation stopped at a superstep boundary by
+// context cancellation or deadline expiry. The state holds the partial
+// (monotonically improved, not yet converged) values; Stats in the
+// caller's return describes the work completed. errors.Is matches both
+// ErrCanceled and the underlying context error (context.Canceled or
+// context.DeadlineExceeded).
+type CanceledError struct {
+	// Iterations is the number of supersteps that completed before the
+	// boundary check observed the cancellation.
+	Iterations int
+	// Cause is the context's error.
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("engine: evaluation canceled after %d supersteps: %v", e.Iterations, e.Cause)
+}
+
+// Is makes errors.Is(err, ErrCanceled) true.
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
+
+// Unwrap exposes the context error for errors.Is(err, context.DeadlineExceeded).
+func (e *CanceledError) Unwrap() error { return e.Cause }
 
 // View is the read-only graph interface the engine evaluates over. Both
 // *streamgraph.Snapshot and *graph.CSR satisfy it.
@@ -218,6 +250,19 @@ func putPushScratch(s *pushScratch) { pushScratchPool.Put(s) }
 // (init values + sources), Δ-based initialization, or resumed incremental
 // state. Returns work statistics.
 func (st *State) RunPush(g View, seeds []graph.VertexID, seedMasks []uint64) Stats {
+	stats, _ := st.RunPushCtx(context.Background(), g, seeds, seedMasks)
+	return stats
+}
+
+// RunPushCtx is RunPush with cooperative cancellation: ctx.Err() is
+// checked once per superstep (cheap — no per-edge or per-vertex cost), and
+// a cancellation or deadline stops the evaluation at the next boundary
+// with a *CanceledError. The returned Stats describe the work completed.
+// The state's values are left partially improved: every value is still a
+// sound, monotonically-reached bound, just not yet the converged result,
+// so a canceled user query never corrupts anything — the state belongs to
+// the query and is simply discarded.
+func (st *State) RunPushCtx(ctx context.Context, g View, seeds []graph.VertexID, seedMasks []uint64) (Stats, error) {
 	n := g.NumVertices()
 	if n > st.N {
 		st.Grow(n)
@@ -225,7 +270,6 @@ func (st *State) RunPush(g View, seeds []graph.VertexID, seedMasks []uint64) Sta
 	fv, _ := g.(FlatView)
 	var stats Stats
 	scr := getPushScratch(st.N)
-	defer putPushScratch(scr)
 	cur := frontier{masks: scr.masks}
 	nextMasks := scr.next
 	inNext := scr.inNext
@@ -298,9 +342,14 @@ func (st *State) RunPush(g View, seeds []graph.VertexID, seedMasks []uint64) Sta
 		c.upd += w
 	}
 
+	var canceled error
 	dense := false
 	active := len(cur.verts)
 	for active > 0 {
+		if err := ctx.Err(); err != nil {
+			canceled = &CanceledError{Iterations: stats.Iterations, Cause: err}
+			break
+		}
 		stats.Iterations++
 		if onIteration != nil {
 			onIteration(dense)
@@ -346,7 +395,15 @@ func (st *State) RunPush(g View, seeds []graph.VertexID, seedMasks []uint64) Sta
 		stats.Relaxations += counters[i].relax
 		stats.Updates += counters[i].upd
 	}
-	return stats
+	// The pool invariant is that scratch is handed back drained. A
+	// canceled run abandons a live frontier (masks set at positions no
+	// cheap sweep can enumerate in dense mode), so its scratch is dropped
+	// rather than drained — cancellations are rare enough that losing the
+	// buffers costs nothing.
+	if canceled == nil {
+		putPushScratch(scr)
+	}
+	return stats, canceled
 }
 
 // markActive atomically ors query bit k into v's next-frontier mask and
@@ -391,6 +448,13 @@ func casImprove(addr *uint64, cand uint64, p Problem) bool {
 // point also resumes incrementally: calling it on a converged state after
 // a graph update costs one verification round plus whatever changed.
 func (st *State) RunPull(g View, stats *Stats) {
+	_ = st.RunPullCtx(context.Background(), g, stats)
+}
+
+// RunPullCtx is RunPull with cooperative cancellation, checked once per
+// dense round. On cancellation it returns a *CanceledError; the state
+// holds the partially-improved (still sound, not converged) values.
+func (st *State) RunPullCtx(ctx context.Context, g View, stats *Stats) error {
 	n := g.NumVertices()
 	if n > st.N {
 		st.Grow(n)
@@ -399,7 +463,12 @@ func (st *State) RunPull(g View, stats *Stats) {
 	K := st.K
 	p := st.P
 	counters := make([]workCounter, parallel.MaxWorkers())
+	var canceled error
 	for {
+		if err := ctx.Err(); err != nil {
+			canceled = &CanceledError{Iterations: stats.Iterations, Cause: err}
+			break
+		}
 		stats.Iterations++
 		var changed atomic.Bool
 		parallel.ForRangeID(n, 64, func(wid, start, end int) {
@@ -459,11 +528,19 @@ func (st *State) RunPull(g View, stats *Stats) {
 		stats.Relaxations += counters[i].relax
 		stats.Updates += counters[i].upd
 	}
+	return canceled
 }
 
 // Run performs a full (from-scratch) K-wide push evaluation with one
 // source per query slot. It is the non-incremental baseline of Table 3.
 func Run(g View, p Problem, sources []graph.VertexID) (*State, Stats) {
+	st, stats, _ := RunCtx(context.Background(), g, p, sources)
+	return st, stats
+}
+
+// RunCtx is Run with cooperative cancellation (see RunPushCtx). On
+// cancellation the partial state is still returned alongside the error.
+func RunCtx(ctx context.Context, g View, p Problem, sources []graph.VertexID) (*State, Stats, error) {
 	st := NewState(p, g.NumVertices(), len(sources))
 	seeds := make([]graph.VertexID, 0, len(sources))
 	masks := make([]uint64, 0, len(sources))
@@ -478,8 +555,8 @@ func Run(g View, p Problem, sources []graph.VertexID) (*State, Stats) {
 		seeds = append(seeds, s)
 		masks = append(masks, 1<<uint(k))
 	}
-	stats := st.RunPush(g, seeds, masks)
-	return st, stats
+	stats, err := st.RunPushCtx(ctx, g, seeds, masks)
+	return st, stats, err
 }
 
 // RunReverse performs a full pull-model evaluation of the reversed query

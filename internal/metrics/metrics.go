@@ -1,0 +1,270 @@
+// Package metrics is a dependency-free instrumentation subsystem for the
+// serving layer: monotonic counters, gauges, and fixed-bucket latency
+// histograms, all updated with single atomic operations so the query hot
+// path pays nanoseconds per sample. A Registry names the instruments and
+// renders them in Prometheus text exposition format (for scrapers) or as
+// a JSON object (for the /v1/stats human view).
+//
+// The instruments follow the same cache-friendliness discipline as
+// package parallel's per-worker counters: each independently-updated
+// atomic word is padded out to its own cache line, so two hot counters
+// registered next to each other never false-share under concurrent
+// request handlers.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use. The padding keeps adjacent counters (registries allocate them
+// individually, but callers may embed arrays of them) on distinct cache
+// lines.
+type Counter struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can go up and down (e.g. requests
+// currently in flight).
+type Gauge struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// padCount is one histogram bucket on its own cache line.
+type padCount struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (conventionally seconds). Buckets are defined by their inclusive upper
+// bounds; an implicit +Inf bucket catches the rest. Observe is lock-free:
+// one atomic add on the bucket plus a CAS loop on the running sum.
+type Histogram struct {
+	bounds []float64  // sorted upper bounds, immutable after construction
+	counts []padCount // len(bounds)+1; the last slot is +Inf
+	sum    atomic.Uint64
+	_      [7]int64
+}
+
+// DefBuckets spans 100µs to ~26s in powers of four — wide enough to
+// separate a Δ-based hit (sub-millisecond) from a full re-evaluation or a
+// saturated queue, with few enough buckets that export stays tiny.
+var DefBuckets = []float64{
+	0.0001, 0.0004, 0.0016, 0.0064, 0.0256, 0.1024, 0.4096, 1.6384, 6.5536, 26.2144,
+}
+
+// NewHistogram builds a histogram with the given bucket upper bounds
+// (sorted ascending; nil selects DefBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]padCount, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].v.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].v.Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Snapshot returns the cumulative bucket counts (Prometheus "le"
+// semantics: counts[i] = observations ≤ bounds[i], with a final +Inf
+// entry equal to Count).
+func (h *Histogram) Snapshot() (bounds []float64, cumulative []int64) {
+	cumulative = make([]int64, len(h.counts))
+	var run int64
+	for i := range h.counts {
+		run += h.counts[i].v.Load()
+		cumulative[i] = run
+	}
+	return h.bounds, cumulative
+}
+
+// Registry names instruments and renders them. Registration is
+// idempotent by name; lookups after the first return the same
+// instrument, so packages can re-register without coordination.
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	insts map[string]any // *Counter | *Gauge | *Histogram
+	help  map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{insts: make(map[string]any), help: make(map[string]string)}
+}
+
+func (r *Registry) register(name, help string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if inst, ok := r.insts[name]; ok {
+		return inst
+	}
+	inst := mk()
+	r.insts[name] = inst
+	r.help[name] = help
+	r.order = append(r.order, name)
+	return inst
+}
+
+// Counter registers (or fetches) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	inst := r.register(name, help, func() any { return &Counter{} })
+	c, ok := inst.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %s already registered as %T", name, inst))
+	}
+	return c
+}
+
+// Gauge registers (or fetches) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	inst := r.register(name, help, func() any { return &Gauge{} })
+	g, ok := inst.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %s already registered as %T", name, inst))
+	}
+	return g
+}
+
+// Histogram registers (or fetches) the named histogram. bounds is used
+// only on first registration (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	inst := r.register(name, help, func() any { return NewHistogram(bounds) })
+	h, ok := inst.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %s already registered as %T", name, inst))
+	}
+	return h
+}
+
+// names returns the registration order snapshot.
+func (r *Registry) names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, name := range r.names() {
+		r.mu.Lock()
+		inst := r.insts[name]
+		help := r.help[name]
+		r.mu.Unlock()
+		if help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, help)
+		}
+		switch m := inst.(type) {
+		case *Counter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, m.Value())
+		case *Gauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, m.Value())
+		case *Histogram:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+			bounds, cum := m.Snapshot()
+			for i, ub := range bounds {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatFloat(ub), cum[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[len(cum)-1])
+			fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(m.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", name, cum[len(cum)-1])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// HistogramJSON is the JSON view of one histogram.
+type HistogramJSON struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"` // cumulative, aligned with Bounds; no +Inf entry
+}
+
+// Snapshot returns a JSON-marshalable view of every instrument keyed by
+// name: counters and gauges as int64, histograms as HistogramJSON.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, name := range r.names() {
+		r.mu.Lock()
+		inst := r.insts[name]
+		r.mu.Unlock()
+		switch m := inst.(type) {
+		case *Counter:
+			out[name] = m.Value()
+		case *Gauge:
+			out[name] = m.Value()
+		case *Histogram:
+			bounds, cum := m.Snapshot()
+			out[name] = HistogramJSON{
+				Count:   cum[len(cum)-1],
+				Sum:     m.Sum(),
+				Bounds:  bounds,
+				Buckets: cum[:len(bounds)],
+			}
+		}
+	}
+	return out
+}

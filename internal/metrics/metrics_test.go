@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 5.565; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	bounds, cum := h.Snapshot()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("snapshot shape: %d bounds, %d buckets", len(bounds), len(cum))
+	}
+	// 0.005 and 0.01 fall in le=0.01 (upper bound inclusive); 0.05 in
+	// le=0.1; 0.5 in le=1; 5 in +Inf. Cumulative: 2, 3, 4, 5.
+	for i, want := range []int64{2, 3, 4, 5} {
+		if cum[i] != want {
+			t.Fatalf("cumulative[%d] = %d, want %d", i, cum[i], want)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-6 {
+		t.Fatalf("sum = %g, want 8", h.Sum())
+	}
+}
+
+func TestRegistryIdempotentAndOrdered(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a_total", "first")
+	b := r.Counter("b_total", "second")
+	if r.Counter("a_total", "ignored") != a {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Inc()
+	b.Add(2)
+	snap := r.Snapshot()
+	if snap["a_total"].(int64) != 1 || snap["b_total"].(int64) != 2 {
+		t.Fatalf("snapshot %v", snap)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tripoline_queries_total", "user queries served")
+	c.Add(3)
+	g := r.Gauge("tripoline_inflight", "requests in flight")
+	g.Set(2)
+	h := r.Histogram("tripoline_query_seconds", "query latency", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(10)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE tripoline_queries_total counter",
+		"tripoline_queries_total 3",
+		"# TYPE tripoline_inflight gauge",
+		"tripoline_inflight 2",
+		"# TYPE tripoline_query_seconds histogram",
+		`tripoline_query_seconds_bucket{le="0.5"} 1`,
+		`tripoline_query_seconds_bucket{le="2"} 2`,
+		`tripoline_query_seconds_bucket{le="+Inf"} 3`,
+		"tripoline_query_seconds_sum 11.25",
+		"tripoline_query_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Registration order is preserved in the rendering.
+	if strings.Index(out, "tripoline_queries_total") > strings.Index(out, "tripoline_inflight") {
+		t.Fatal("output not in registration order")
+	}
+}

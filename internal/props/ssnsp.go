@@ -1,6 +1,7 @@
 package props
 
 import (
+	"context"
 	"sync/atomic"
 
 	"tripoline/internal/bitset"
@@ -46,12 +47,27 @@ type SSNSPResult struct {
 
 // RunSSNSP evaluates SSNSP from scratch.
 func RunSSNSP(g engine.View, src graph.VertexID) *SSNSPResult {
+	res, _ := RunSSNSPCtx(context.Background(), g, src)
+	return res
+}
+
+// RunSSNSPCtx is RunSSNSP with cooperative cancellation: both the level
+// round (engine supersteps) and the counting round (BFS-DAG levels) check
+// ctx at their iteration boundaries. On cancellation it returns
+// (nil, *engine.CanceledError).
+func RunSSNSPCtx(ctx context.Context, g engine.View, src graph.VertexID) (*SSNSPResult, error) {
 	st := engine.NewState(BFS{}, g.NumVertices(), 1)
 	st.SetSource(src, 0)
-	levelStats := st.RunPush(g, []graph.VertexID{src}, []uint64{1})
-	res := countRound(g, src, st.Values)
+	levelStats, err := st.RunPushCtx(ctx, g, []graph.VertexID{src}, []uint64{1})
+	if err != nil {
+		return nil, err
+	}
+	res, err := countRoundCtx(ctx, g, src, st.Values)
+	if err != nil {
+		return nil, err
+	}
 	res.LevelStats = levelStats
-	return res
+	return res, nil
 }
 
 // RunSSNSPDelta evaluates SSNSP with Δ-initialized levels. initLevels must
@@ -59,24 +75,43 @@ func RunSSNSP(g engine.View, src graph.VertexID) *SSNSPResult {
 // triangle.DeltaInit); the level round resumes from it, then the counting
 // round runs exactly.
 func RunSSNSPDelta(g engine.View, src graph.VertexID, initLevels []uint64) *SSNSPResult {
+	res, _ := RunSSNSPDeltaCtx(context.Background(), g, src, initLevels)
+	return res
+}
+
+// RunSSNSPDeltaCtx is RunSSNSPDelta with cooperative cancellation (see
+// RunSSNSPCtx).
+func RunSSNSPDeltaCtx(ctx context.Context, g engine.View, src graph.VertexID, initLevels []uint64) (*SSNSPResult, error) {
 	n := g.NumVertices()
 	st := &engine.State{P: BFS{}, K: 1, N: n, Values: initLevels}
 	st.Grow(n)
 	st.Values[src] = 0
-	levelStats := st.RunPush(g, []graph.VertexID{src}, []uint64{1})
+	levelStats, err := st.RunPushCtx(ctx, g, []graph.VertexID{src}, []uint64{1})
+	if err != nil {
+		return nil, err
+	}
 
 	// Predicate rate: how often the Δ level was already exact. The values
 	// slice was improved in place, so compare against a pre-run copy made
 	// by the caller when needed; here we conservatively recompute by
 	// comparing the converged levels against the init array — which the
 	// engine mutated — so the caller passes a copy. See standing package.
-	res := countRound(g, src, st.Values)
+	res, err := countRoundCtx(ctx, g, src, st.Values)
+	if err != nil {
+		return nil, err
+	}
 	res.LevelStats = levelStats
-	return res
+	return res, nil
 }
 
 // countRound performs the level-synchronous path-counting round.
 func countRound(g engine.View, src graph.VertexID, levels []uint64) *SSNSPResult {
+	res, _ := countRoundCtx(context.Background(), g, src, levels)
+	return res
+}
+
+// countRoundCtx is countRound with a cancellation check per BFS level.
+func countRoundCtx(ctx context.Context, g engine.View, src graph.VertexID, levels []uint64) (*SSNSPResult, error) {
 	n := g.NumVertices()
 	counts := make([]uint64, n)
 	counts[src] = 1
@@ -85,6 +120,9 @@ func countRound(g engine.View, src graph.VertexID, levels []uint64) *SSNSPResult
 	var stats engine.Stats
 	var acts, relax, upd atomic.Int64
 	for len(cur) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, &engine.CanceledError{Iterations: stats.Iterations, Cause: err}
+		}
 		stats.Iterations++
 		parallel.ForGrain(len(cur), 64, func(i int) {
 			u := cur[i]
@@ -107,7 +145,7 @@ func countRound(g engine.View, src graph.VertexID, levels []uint64) *SSNSPResult
 	stats.Activations = acts.Load()
 	stats.Relaxations = relax.Load()
 	stats.Updates = upd.Load()
-	return &SSNSPResult{Levels: levels, Counts: counts, CountStats: stats}
+	return &SSNSPResult{Levels: levels, Counts: counts, CountStats: stats}, nil
 }
 
 // CountShortestPaths runs only the counting round against externally

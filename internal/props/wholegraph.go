@@ -1,6 +1,7 @@
 package props
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 
@@ -44,6 +45,13 @@ func (CCLabel) Combine(a, b uint64) uint64 {
 // vertex ID in the component, following arcs in the stored direction — on
 // undirected graphs these are the true connected components).
 func ConnectedComponents(g engine.View) (*engine.State, engine.Stats) {
+	st, stats, _ := ConnectedComponentsCtx(context.Background(), g)
+	return st, stats
+}
+
+// ConnectedComponentsCtx is ConnectedComponents with cooperative
+// cancellation at superstep boundaries (see engine.RunPushCtx).
+func ConnectedComponentsCtx(ctx context.Context, g engine.View) (*engine.State, engine.Stats, error) {
 	n := g.NumVertices()
 	st := engine.NewState(CCLabel{}, n, 1)
 	seeds := make([]graph.VertexID, n)
@@ -53,8 +61,8 @@ func ConnectedComponents(g engine.View) (*engine.State, engine.Stats) {
 		seeds[v] = graph.VertexID(v)
 		masks[v] = 1
 	}
-	stats := st.RunPush(g, seeds, masks)
-	return st, stats
+	stats, err := st.RunPushCtx(ctx, g, seeds, masks)
+	return st, stats, err
 }
 
 // ResumeConnectedComponents incrementally re-stabilizes CC labels after a
@@ -85,18 +93,33 @@ type PageRankResult struct {
 // PageRank runs damped PageRank to the given L1 tolerance (or maxIters),
 // starting from a uniform distribution.
 func PageRank(g engine.View, damping float64, maxIters int, tol float64) *PageRankResult {
+	res, _ := PageRankCtx(context.Background(), g, damping, maxIters, tol)
+	return res
+}
+
+// PageRankCtx is PageRank with a cancellation check per iteration. On
+// cancellation it returns (nil, *engine.CanceledError).
+func PageRankCtx(ctx context.Context, g engine.View, damping float64, maxIters int, tol float64) (*PageRankResult, error) {
 	n := g.NumVertices()
 	init := make([]float64, n)
 	for i := range init {
 		init[i] = 1.0 / float64(n)
 	}
-	return PageRankFrom(g, init, damping, maxIters, tol)
+	return PageRankFromCtx(ctx, g, init, damping, maxIters, tol)
 }
 
 // PageRankFrom runs PageRank starting from prior ranks — the incremental
 // ("standing query") mode: after a graph update, resuming from the
 // previous converged ranks re-stabilizes in a handful of iterations.
 func PageRankFrom(g engine.View, init []float64, damping float64, maxIters int, tol float64) *PageRankResult {
+	res, _ := PageRankFromCtx(context.Background(), g, init, damping, maxIters, tol)
+	return res
+}
+
+// PageRankFromCtx is PageRankFrom with a cancellation check per
+// iteration. The ranks slice it was building is discarded on
+// cancellation — the caller's prior converged ranks are never mutated.
+func PageRankFromCtx(ctx context.Context, g engine.View, init []float64, damping float64, maxIters int, tol float64) (*PageRankResult, error) {
 	n := g.NumVertices()
 	ranks := make([]float64, n)
 	copy(ranks, init)
@@ -106,6 +129,9 @@ func PageRankFrom(g engine.View, init []float64, damping float64, maxIters int, 
 	contrib := make([]uint64, n) // float64 bits, accumulated atomically
 	res := &PageRankResult{Ranks: ranks}
 	for iter := 0; iter < maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, &engine.CanceledError{Iterations: res.Iterations, Cause: err}
+		}
 		res.Iterations++
 		parallel.For(n, func(v int) { contrib[v] = 0 })
 		// Scatter: each vertex pushes rank/deg to its out-neighbors.
@@ -136,7 +162,7 @@ func PageRankFrom(g engine.View, init []float64, damping float64, maxIters int, 
 			break
 		}
 	}
-	return res
+	return res, nil
 }
 
 // atomicAddFloat adds v to the float64 stored (as bits) in an atomic

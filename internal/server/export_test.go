@@ -1,0 +1,10 @@
+package server
+
+// SetTestHookAdmitted installs f to run inside every admitted request
+// and returns a restore func. Lifecycle tests use it to hold requests in
+// flight deterministically.
+func SetTestHookAdmitted(f func(kind string)) (restore func()) {
+	old := testHookAdmitted
+	testHookAdmitted = f
+	return func() { testHookAdmitted = old }
+}

@@ -1,0 +1,44 @@
+package server
+
+import "tripoline/internal/metrics"
+
+// serverMetrics bundles the instruments the serving layer updates on
+// every request. All are registered in one Registry so /v1/metrics and
+// the /v1/stats JSON view stay in sync automatically.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	queries            *metrics.Counter // user queries admitted (Δ or full)
+	queriesFull        *metrics.Counter // of which explicitly full=1
+	queriesIncremental *metrics.Counter // of which answered Δ-based
+	batches            *metrics.Counter // insertion batches applied
+	deletes            *metrics.Counter // deletion batches applied
+	batchEdges         *metrics.Counter // edges across all batches
+	activations        *metrics.Counter // engine vertex activations spent on queries
+	rejected           *metrics.Counter // 429s from the admission gate
+	canceled           *metrics.Counter // queries ended by deadline/disconnect
+	errors             *metrics.Counter // other 4xx/5xx responses
+	inflight           *metrics.Gauge   // requests currently executing
+
+	queryLatency *metrics.Histogram // seconds, wall time incl. queueing
+	writeLatency *metrics.Histogram // seconds, batch/delete wall time
+}
+
+func newServerMetrics(reg *metrics.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg:                reg,
+		queries:            reg.Counter("tripoline_queries_total", "User queries admitted for evaluation."),
+		queriesFull:        reg.Counter("tripoline_queries_full_total", "Queries answered by full (non-incremental) evaluation on request."),
+		queriesIncremental: reg.Counter("tripoline_queries_incremental_total", "Queries answered Delta-based from standing state."),
+		batches:            reg.Counter("tripoline_batches_total", "Edge-insertion batches applied."),
+		deletes:            reg.Counter("tripoline_deletes_total", "Edge-deletion batches applied."),
+		batchEdges:         reg.Counter("tripoline_batch_edges_total", "Edges across all applied batches."),
+		activations:        reg.Counter("tripoline_query_activations_total", "Engine vertex activations spent answering queries."),
+		rejected:           reg.Counter("tripoline_rejected_total", "Requests refused 429 by the admission gate."),
+		canceled:           reg.Counter("tripoline_canceled_total", "Queries ended early by deadline or client disconnect."),
+		errors:             reg.Counter("tripoline_errors_total", "Requests answered with another 4xx/5xx status."),
+		inflight:           reg.Gauge("tripoline_inflight", "Requests currently executing."),
+		queryLatency:       reg.Histogram("tripoline_query_seconds", "Query request latency in seconds.", metrics.DefBuckets),
+		writeLatency:       reg.Histogram("tripoline_write_seconds", "Batch/delete request latency in seconds.", metrics.DefBuckets),
+	}
+}

@@ -6,7 +6,8 @@
 //
 // Endpoints:
 //
-//	GET  /v1/stats                       graph + system summary
+//	GET  /v1/stats                       graph + system + metrics summary
+//	GET  /v1/metrics                     Prometheus text exposition
 //	GET  /v1/query?problem=SSWP&source=5 one Δ-based user query
 //	GET  /v1/query?...&full=1            the non-incremental baseline
 //	GET  /v1/queryat?version=3&...       query a retained past snapshot
@@ -16,19 +17,37 @@
 //
 // Writes (batch/delete) are serialized through the system's exclusive
 // update path; queries run concurrently against immutable snapshots.
+//
+// The server owns the query lifecycle: every request gets a
+// context.Context carrying the endpoint's deadline, which the engine
+// checks at superstep boundaries, so a slow query is abandoned promptly
+// instead of burning cores to completion for a client that stopped
+// waiting. An admission gate bounds the number of evaluations in flight
+// (a semaphore with a bounded wait queue; overflow is answered 429), and
+// Drain provides graceful shutdown: stop admitting, finish what is
+// running. Failures map to precise status codes via the core package's
+// sentinel errors.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"tripoline/internal/core"
 	"tripoline/internal/graph"
+	"tripoline/internal/metrics"
 	"tripoline/internal/streamgraph"
 )
+
+// StatusClientClosedRequest is the non-standard (nginx-convention) code
+// reported when a query was abandoned because the client went away.
+const StatusClientClosedRequest = 499
 
 // Server is the HTTP front end over one Tripoline system.
 type Server struct {
@@ -40,25 +59,232 @@ type Server struct {
 	// mutate only under writeMu between batches).
 	writeMu sync.Mutex
 	mux     *http.ServeMux
+
+	queryTimeout time.Duration // per-query deadline; 0 = none
+	writeTimeout time.Duration // per-batch/delete deadline; 0 = none
+	gate         *gate         // nil = unbounded admission
+	met          *serverMetrics
+
+	// draining flips once and permanently: new requests are refused with
+	// 503 while in-flight ones run out under the inflight WaitGroup.
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// Option configures a Server (the same functional-option pattern as the
+// tripoline package root).
+type Option func(*Server)
+
+// WithQueryTimeout caps the wall time of one query evaluation
+// (/v1/query, /v1/queryat, /v1/querymany). The engine observes the
+// deadline at superstep boundaries; an expired query returns 504 (or 499
+// if the client disconnected first). Zero disables the cap.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(s *Server) { s.queryTimeout = d }
+}
+
+// WithWriteTimeout caps the wall time of one update batch (/v1/batch,
+// /v1/delete). The deadline gates admission only — an admitted batch
+// always completes so standing state never desyncs from its snapshot.
+// Zero disables the cap.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(s *Server) { s.writeTimeout = d }
+}
+
+// WithMaxInFlight bounds the number of requests evaluating concurrently
+// to n; up to queue further requests wait for a slot (respecting their
+// deadlines), and anything beyond that is refused immediately with 429.
+// n <= 0 leaves admission unbounded.
+func WithMaxInFlight(n, queue int) Option {
+	return func(s *Server) {
+		if n <= 0 {
+			s.gate = nil
+			return
+		}
+		if queue < 0 {
+			queue = 0
+		}
+		s.gate = &gate{sem: make(chan struct{}, n), maxQueue: int64(queue)}
+	}
+}
+
+// WithMetrics installs a shared metrics registry (so one process can
+// aggregate several servers, or tests can inspect counts). Without this
+// option the server creates its own registry.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *Server) { s.met = newServerMetrics(reg) }
 }
 
 // New wraps a system. The caller keeps ownership: batches may also be
 // applied directly as long as they are not concurrent with ServeHTTP
 // writes (use the server's endpoints once serving).
-func New(sys *core.System, g *streamgraph.Graph) *Server {
+func New(sys *core.System, g *streamgraph.Graph, opts ...Option) *Server {
 	s := &Server{sys: sys, g: g, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.met == nil {
+		s.met = newServerMetrics(metrics.NewRegistry())
+	}
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
-	s.mux.HandleFunc("GET /v1/queryat", s.handleQueryAt)
-	s.mux.HandleFunc("POST /v1/querymany", s.handleQueryMany)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/query", s.lifecycle("query", s.queryTimeout, s.handleQuery))
+	s.mux.HandleFunc("GET /v1/queryat", s.lifecycle("query", s.queryTimeout, s.handleQueryAt))
+	s.mux.HandleFunc("POST /v1/querymany", s.lifecycle("query", s.queryTimeout, s.handleQueryMany))
+	s.mux.HandleFunc("POST /v1/batch", s.lifecycle("write", s.writeTimeout, s.handleBatch))
+	s.mux.HandleFunc("POST /v1/delete", s.lifecycle("write", s.writeTimeout, s.handleDelete))
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops admitting requests (new ones get 503) and blocks until all
+// in-flight requests finish or ctx expires, returning ctx.Err() in the
+// latter case. It is idempotent; a drained server stays drained.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// isDraining reports whether Drain has been called.
+func (s *Server) isDraining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
+// gate is the bounded-concurrency admission control: sem caps the
+// evaluations running, queued/maxQueue cap the ones waiting for a slot.
+type gate struct {
+	sem      chan struct{}
+	queued   int64
+	maxQueue int64
+	mu       sync.Mutex
+}
+
+var errSaturated = errors.New("server: admission queue full")
+
+// acquire claims an execution slot, waiting (bounded by the queue depth
+// and the request's context) when all slots are busy. It returns
+// errSaturated when the wait queue is full.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	g.mu.Lock()
+	if g.queued >= g.maxQueue {
+		g.mu.Unlock()
+		return errSaturated
+	}
+	g.queued++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.queued--
+		g.mu.Unlock()
+	}()
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gate) release() { <-g.sem }
+
+// testHookAdmitted, when non-nil, runs inside every admitted request
+// just before its handler. Tests use it to hold requests in flight
+// deterministically; nil in production.
+var testHookAdmitted func(kind string)
+
+// lifecycle wraps a handler with the full request lifecycle: drain
+// check, admission gate, per-endpoint deadline, in-flight accounting,
+// and latency/outcome metrics.
+func (s *Server) lifecycle(kind string, timeout time.Duration, h func(ctx context.Context, w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.isDraining() {
+			writeErr(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		if s.gate != nil {
+			if err := s.gate.acquire(r.Context()); err != nil {
+				if errors.Is(err, errSaturated) {
+					s.met.rejected.Inc()
+					w.Header().Set("Retry-After", "1")
+					writeErr(w, http.StatusTooManyRequests, "server saturated: %v", err)
+				} else {
+					writeErr(w, StatusClientClosedRequest, "client gone while queued: %v", err)
+				}
+				return
+			}
+			defer s.gate.release()
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		s.met.inflight.Add(1)
+		defer s.met.inflight.Add(-1)
+		if testHookAdmitted != nil {
+			testHookAdmitted(kind)
+		}
+
+		ctx := r.Context()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		start := time.Now()
+		code := h(ctx, w, r)
+		elapsed := time.Since(start).Seconds()
+		switch kind {
+		case "query":
+			s.met.queryLatency.Observe(elapsed)
+		case "write":
+			s.met.writeLatency.Observe(elapsed)
+		}
+		if code == StatusClientClosedRequest || code == http.StatusGatewayTimeout {
+			s.met.canceled.Inc()
+		} else if code >= 400 {
+			s.met.errors.Inc()
+		}
+	}
+}
+
+// statusFor maps a system error onto an HTTP status code using the core
+// package's sentinel errors.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, core.ErrSourceOutOfRange):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrUnknownProblem), errors.Is(err, core.ErrNoSuchVersion):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrCanceled):
+		if errors.Is(err, context.DeadlineExceeded) {
+			return http.StatusGatewayTimeout
+		}
+		return StatusClientClosedRequest
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 // edgeJSON is the wire form of one edge.
@@ -80,11 +306,12 @@ type batchResponse struct {
 }
 
 type statsResponse struct {
-	Vertices int      `json:"vertices"`
-	Edges    int64    `json:"edges"`
-	Version  uint64   `json:"version"`
-	Directed bool     `json:"directed"`
-	Problems []string `json:"problems"`
+	Vertices int            `json:"vertices"`
+	Edges    int64          `json:"edges"`
+	Version  uint64         `json:"version"`
+	Directed bool           `json:"directed"`
+	Problems []string       `json:"problems"`
+	Metrics  map[string]any `json:"metrics"`
 }
 
 type queryResponse struct {
@@ -98,15 +325,17 @@ type queryResponse struct {
 	Radius      uint64   `json:"radius,omitempty"`
 }
 
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) int {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	return code
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func writeJSON(w http.ResponseWriter, v any) int {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(v)
+	return http.StatusOK
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -117,36 +346,41 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Version:  snap.Version(),
 		Directed: s.g.Directed(),
 		Problems: s.sys.Enabled(),
+		Metrics:  s.met.reg.Snapshot(),
 	})
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.met.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http.Request) int {
 	problem := r.URL.Query().Get("problem")
 	if problem == "" {
-		writeErr(w, http.StatusBadRequest, "missing ?problem")
-		return
+		return writeErr(w, http.StatusBadRequest, "missing ?problem")
 	}
 	srcStr := r.URL.Query().Get("source")
 	src, err := strconv.ParseUint(srcStr, 10, 32)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad ?source=%q", srcStr)
-		return
-	}
-	if int(src) >= s.g.Acquire().NumVertices() {
-		writeErr(w, http.StatusBadRequest, "source %d out of range", src)
-		return
+		return writeErr(w, http.StatusBadRequest, "bad ?source=%q", srcStr)
 	}
 	var res *core.QueryResult
 	if r.URL.Query().Get("full") != "" {
-		res, err = s.sys.QueryFull(problem, graph.VertexID(src))
+		s.met.queriesFull.Inc()
+		res, err = s.sys.QueryFullCtx(ctx, problem, graph.VertexID(src))
 	} else {
-		res, err = s.sys.Query(problem, graph.VertexID(src))
+		s.met.queries.Inc()
+		res, err = s.sys.QueryCtx(ctx, problem, graph.VertexID(src))
 	}
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
-		return
+		return writeErr(w, statusFor(err), "%v", err)
 	}
-	writeJSON(w, queryResponse{
+	if res.Incremental {
+		s.met.queriesIncremental.Inc()
+	}
+	s.met.activations.Add(res.Stats.Activations)
+	return writeJSON(w, queryResponse{
 		Problem:     res.Problem,
 		Source:      uint32(res.Source),
 		Incremental: res.Incremental,
@@ -160,26 +394,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 // handleQueryAt answers against a retained historical snapshot; the
 // system must have history enabled (core.System.EnableHistory).
-func (s *Server) handleQueryAt(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQueryAt(ctx context.Context, w http.ResponseWriter, r *http.Request) int {
 	problem := r.URL.Query().Get("problem")
 	srcStr := r.URL.Query().Get("source")
 	verStr := r.URL.Query().Get("version")
 	src, err := strconv.ParseUint(srcStr, 10, 32)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad ?source=%q", srcStr)
-		return
+		return writeErr(w, http.StatusBadRequest, "bad ?source=%q", srcStr)
 	}
 	version, err := strconv.ParseUint(verStr, 10, 64)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad ?version=%q", verStr)
-		return
+		return writeErr(w, http.StatusBadRequest, "bad ?version=%q", verStr)
 	}
-	res, err := s.sys.QueryAt(version, problem, graph.VertexID(src))
+	s.met.queries.Inc()
+	res, err := s.sys.QueryAtCtx(ctx, version, problem, graph.VertexID(src))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
-		return
+		return writeErr(w, statusFor(err), "%v", err)
 	}
-	writeJSON(w, queryResponse{
+	s.met.activations.Add(res.Stats.Activations)
+	return writeJSON(w, queryResponse{
 		Problem:     res.Problem,
 		Source:      uint32(res.Source),
 		Incremental: res.Incremental,
@@ -206,22 +439,23 @@ type queryManyResponse struct {
 	Values []uint64 `json:"values"`
 }
 
-func (s *Server) handleQueryMany(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQueryMany(ctx context.Context, w http.ResponseWriter, r *http.Request) int {
 	var req queryManyRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
-		return
+		return writeErr(w, http.StatusBadRequest, "bad JSON: %v", err)
 	}
 	sources := make([]graph.VertexID, len(req.Sources))
 	for i, u := range req.Sources {
 		sources[i] = graph.VertexID(u)
 	}
-	res, err := s.sys.QueryMany(req.Problem, sources)
+	s.met.queries.Add(int64(len(sources)))
+	res, err := s.sys.QueryManyCtx(ctx, req.Problem, sources)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
+		return writeErr(w, statusFor(err), "%v", err)
 	}
-	writeJSON(w, queryManyResponse{
+	s.met.queriesIncremental.Add(int64(len(sources)))
+	s.met.activations.Add(res.Stats.Activations)
+	return writeJSON(w, queryManyResponse{
 		Problem: res.Problem,
 		Sources: req.Sources,
 		Width:   res.Width,
@@ -250,15 +484,20 @@ func (s *Server) decodeEdges(w http.ResponseWriter, r *http.Request) ([]graph.Ed
 	return edges, true
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, r *http.Request) int {
 	edges, ok := s.decodeEdges(w, r)
 	if !ok {
-		return
+		return http.StatusBadRequest
 	}
 	s.writeMu.Lock()
-	rep := s.sys.ApplyBatch(edges)
+	rep, err := s.sys.ApplyBatchCtx(ctx, edges)
 	s.writeMu.Unlock()
-	writeJSON(w, batchResponse{
+	if err != nil {
+		return writeErr(w, statusFor(err), "%v", err)
+	}
+	s.met.batches.Inc()
+	s.met.batchEdges.Add(int64(rep.BatchEdges))
+	return writeJSON(w, batchResponse{
 		Applied:         rep.BatchEdges,
 		ChangedSources:  rep.ChangedSources,
 		Version:         rep.Version,
@@ -266,15 +505,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDelete(ctx context.Context, w http.ResponseWriter, r *http.Request) int {
 	edges, ok := s.decodeEdges(w, r)
 	if !ok {
-		return
+		return http.StatusBadRequest
 	}
 	s.writeMu.Lock()
-	rep := s.sys.ApplyDeletions(edges)
+	rep, err := s.sys.ApplyDeletionsCtx(ctx, edges)
 	s.writeMu.Unlock()
-	writeJSON(w, batchResponse{
+	if err != nil {
+		return writeErr(w, statusFor(err), "%v", err)
+	}
+	s.met.deletes.Inc()
+	s.met.batchEdges.Add(int64(rep.BatchEdges))
+	return writeJSON(w, batchResponse{
 		Applied:         rep.BatchEdges,
 		ChangedSources:  rep.ChangedSources,
 		Version:         rep.Version,

@@ -255,14 +255,15 @@ func TestQueryManyEndpoint(t *testing.T) {
 			t.Fatalf("batched slot 0 differs at %d", v)
 		}
 	}
-	// Errors surface as 400s.
+	// Errors surface with precise status codes: bad request shapes are
+	// 400, unknown problems are 404 (core.ErrUnknownProblem).
 	var errOut map[string]any
 	if code := postJSON(t, ts.URL+"/v1/querymany",
 		map[string]any{"problem": "SSSP", "sources": []uint32{}}, &errOut); code != 400 {
 		t.Fatalf("empty sources: status %d", code)
 	}
 	if code := postJSON(t, ts.URL+"/v1/querymany",
-		map[string]any{"problem": "Nope", "sources": []uint32{1}}, &errOut); code != 400 {
+		map[string]any{"problem": "Nope", "sources": []uint32{1}}, &errOut); code != 404 {
 		t.Fatalf("unknown problem: status %d", code)
 	}
 }

@@ -23,12 +23,24 @@
 //	sys.ApplyBatch(moreEdges)          // stream; standing queries follow
 //	res, _ := sys.Query("SSWP", u)     // incremental, any source u
 //
+//	// Under a deadline: the engine observes ctx at superstep
+//	// boundaries and returns an error matching ErrCanceled.
+//	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+//	defer cancel()
+//	res, err := sys.QueryCtx(ctx, "SSWP", u)
+//
+// Failures are reported through the sentinel errors ErrUnknownProblem,
+// ErrSourceOutOfRange, ErrNoSuchVersion and ErrCanceled (test with
+// errors.Is). Cancellation is always safe: a user query evaluates on
+// private state, so abandoning it never perturbs the standing queries.
+//
 // Custom problems implement the Problem interface (the vertex function via
 // Relax/Better plus the triangle operators Combine/Better) and can be
 // registered alongside the built-ins; see the examples directory.
 package tripoline
 
 import (
+	"context"
 	"io"
 
 	"tripoline/internal/core"
@@ -36,6 +48,24 @@ import (
 	"tripoline/internal/graph"
 	"tripoline/internal/props"
 	"tripoline/internal/streamgraph"
+)
+
+// Sentinel errors returned (wrapped) by System methods; test with
+// errors.Is.
+var (
+	// ErrUnknownProblem reports a problem name that is not recognized or
+	// not enabled on this system.
+	ErrUnknownProblem = core.ErrUnknownProblem
+	// ErrSourceOutOfRange reports a query source ≥ the vertex count.
+	ErrSourceOutOfRange = core.ErrSourceOutOfRange
+	// ErrNoSuchVersion reports a QueryAt version that is not retained
+	// (or history not enabled).
+	ErrNoSuchVersion = core.ErrNoSuchVersion
+	// ErrCanceled reports an evaluation abandoned because its context
+	// was canceled or its deadline expired. The returned error also
+	// unwraps to the context cause, so
+	// errors.Is(err, context.DeadlineExceeded) works.
+	ErrCanceled = core.ErrCanceled
 )
 
 // VertexID identifies a vertex; IDs are dense starting at 0.
@@ -169,6 +199,16 @@ func (s *System) Enabled() []string { return s.inner.Enabled() }
 // problem's standing queries.
 func (s *System) ApplyBatch(batch []Edge) BatchReport { return s.inner.ApplyBatch(batch) }
 
+// ApplyBatchCtx is ApplyBatch with context-based admission: a canceled
+// ctx is honored only before the mutation begins (returning an error
+// matching ErrCanceled). Once started, the batch and its standing-query
+// maintenance always run to completion — interrupting maintenance
+// mid-flight would leave standing state stale relative to its snapshot,
+// silently degrading every later Δ warm start.
+func (s *System) ApplyBatchCtx(ctx context.Context, batch []Edge) (BatchReport, error) {
+	return s.inner.ApplyBatchCtx(ctx, batch)
+}
+
 // ApplyDeletions removes edges and recovers every enabled problem's
 // standing queries. Deletions break the monotonicity that incremental
 // resumption relies on, so recovery re-evaluates the standing queries
@@ -177,16 +217,36 @@ func (s *System) ApplyDeletions(batch []Edge) BatchReport {
 	return s.inner.ApplyDeletions(batch)
 }
 
+// ApplyDeletionsCtx is ApplyDeletions with context-based admission (the
+// same semantics as ApplyBatchCtx: ctx gates entry, never interrupts
+// recovery mid-flight).
+func (s *System) ApplyDeletionsCtx(ctx context.Context, batch []Edge) (BatchReport, error) {
+	return s.inner.ApplyDeletionsCtx(ctx, batch)
+}
+
 // Query evaluates a user query with Δ-based incremental evaluation: any
 // source vertex, no a priori registration needed.
 func (s *System) Query(problem string, source VertexID) (*QueryResult, error) {
 	return s.inner.Query(problem, source)
 }
 
+// QueryCtx is Query with cooperative cancellation: the engine checks ctx
+// at superstep boundaries (no per-edge cost) and returns an error
+// matching ErrCanceled when it fires. The query evaluates on private
+// state, so cancellation never perturbs the standing queries.
+func (s *System) QueryCtx(ctx context.Context, problem string, source VertexID) (*QueryResult, error) {
+	return s.inner.QueryCtx(ctx, problem, source)
+}
+
 // QueryFull evaluates a user query from scratch (the non-incremental
 // baseline). Results are identical to Query's; only the work differs.
 func (s *System) QueryFull(problem string, source VertexID) (*QueryResult, error) {
 	return s.inner.QueryFull(problem, source)
+}
+
+// QueryFullCtx is QueryFull with cooperative cancellation (see QueryCtx).
+func (s *System) QueryFullCtx(ctx context.Context, problem string, source VertexID) (*QueryResult, error) {
+	return s.inner.QueryFullCtx(ctx, problem, source)
 }
 
 // MultiResult is the outcome of a batched user-query evaluation.
@@ -198,6 +258,11 @@ type MultiResult = core.MultiResult
 // arrays traversed once.
 func (s *System) QueryMany(problem string, sources []VertexID) (*MultiResult, error) {
 	return s.inner.QueryMany(problem, sources)
+}
+
+// QueryManyCtx is QueryMany with cooperative cancellation (see QueryCtx).
+func (s *System) QueryManyCtx(ctx context.Context, problem string, sources []VertexID) (*MultiResult, error) {
+	return s.inner.QueryManyCtx(ctx, problem, sources)
 }
 
 // EnableHistory retains up to capacity past snapshots so QueryAt can
@@ -212,6 +277,13 @@ func (s *System) HistoryVersions() []uint64 { return s.inner.HistoryVersions() }
 // evaluation — Δ-based bounds are only valid for the live version).
 func (s *System) QueryAt(version uint64, problem string, source VertexID) (*QueryResult, error) {
 	return s.inner.QueryAt(version, problem, source)
+}
+
+// QueryAtCtx is QueryAt with cooperative cancellation (see QueryCtx) —
+// historical queries are full evaluations, the most expensive kind, so
+// deadlines matter most here.
+func (s *System) QueryAtCtx(ctx context.Context, version uint64, problem string, source VertexID) (*QueryResult, error) {
+	return s.inner.QueryAtCtx(ctx, version, problem, source)
 }
 
 // RecordQueries toggles recording of user-query sources into a workload
