@@ -1,0 +1,120 @@
+// Command tripoline-lint runs the project's five concurrency/lifecycle
+// analyzers (atomicmix, poolbalance, ctxflow, sentinelcmp, lockscope)
+// over the module using only the standard library's go/* packages.
+//
+// Usage:
+//
+//	tripoline-lint ./...          # whole module
+//	tripoline-lint ./internal/engine ./internal/core
+//	tripoline-lint -json ./...
+//
+// Exit status: 0 when no diagnostics, 1 when diagnostics were emitted,
+// 2 on load/usage errors. Diagnostics can be suppressed with
+//
+//	//lint:ignore analyzer reason
+//
+// on the flagged line or the line above; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tripoline/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tripoline-lint [-json] ./... | dir [dir...]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		flag.Usage()
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tripoline-lint: %v\n", err)
+		return 2
+	}
+	modRoot, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tripoline-lint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tripoline-lint: %v\n", err)
+		return 2
+	}
+
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			loaded, err := loader.LoadAll()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tripoline-lint: %v\n", err)
+				return 2
+			}
+			pkgs = append(pkgs, loaded...)
+		default:
+			dir := pat
+			if !filepath.IsAbs(dir) {
+				dir = filepath.Join(cwd, dir)
+			}
+			rel, err := filepath.Rel(modRoot, dir)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				fmt.Fprintf(os.Stderr, "tripoline-lint: %s is outside the module\n", pat)
+				return 2
+			}
+			asPath := loader.ModPath
+			if rel != "." {
+				asPath = loader.ModPath + "/" + filepath.ToSlash(rel)
+			}
+			pkg, err := loader.LoadDir(dir, asPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tripoline-lint: %s: %v\n", pat, err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	diags := lint.Run(loader.Fset, pkgs, lint.All())
+	lint.Relativize(diags, cwd)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "tripoline-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tripoline-lint: %d diagnostic(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,102 @@
+package ctree
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// decodeElems turns fuzz bytes into elements, 8 bytes per element
+// (little endian); trailing bytes are ignored.
+func decodeElems(data []byte) []uint64 {
+	elems := make([]uint64, 0, len(data)/8)
+	for len(data) >= 8 {
+		elems = append(elems, binary.LittleEndian.Uint64(data[:8]))
+		data = data[8:]
+	}
+	return elems
+}
+
+// checkTree verifies a tree against the oracle element sequence (sorted
+// by key, unique keys).
+func checkTree(t *testing.T, label string, tree Tree, want []uint64) {
+	t.Helper()
+	got := tree.Elements(nil)
+	if len(got) != len(want) {
+		t.Fatalf("%s: Elements returned %d elements, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: Elements[%d] = %#x, want %#x", label, i, got[i], want[i])
+		}
+	}
+	if tree.Size() != len(want) {
+		t.Fatalf("%s: Size() = %d, want %d", label, tree.Size(), len(want))
+	}
+	for _, e := range want {
+		v, ok := tree.Find(Key(e))
+		if !ok || v != e {
+			t.Fatalf("%s: Find(%d) = %#x, %v; want %#x, true", label, Key(e), v, ok, e)
+		}
+	}
+}
+
+// FuzzCTreeBulkUnion cross-checks the bulk-union entry point
+// (InsertBatch) against one-by-one Insert, reverse-order Insert (the
+// history-independence claim: same element set, same tree regardless of
+// order) and FromSorted, all against a sorted-slice oracle.
+func FuzzCTreeBulkUnion(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 0, 0, 0, 0x01, 0, 0, 0, 0x06, 0, 0, 0, 0x02, 0, 0, 0})
+	// Duplicate key 1 with payloads 5 then 9: later must win.
+	f.Add([]byte{0x05, 0, 0, 0, 0x01, 0, 0, 0, 0x09, 0, 0, 0, 0x01, 0, 0, 0})
+	// Trailing garbage after one element.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xAA, 0xBB})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 8*4096 {
+			t.Skip("cap the element count to keep iterations fast")
+		}
+		elems := decodeElems(data)
+
+		// Oracle: last payload per key, keys ascending.
+		last := make(map[uint32]uint32, len(elems))
+		for _, e := range elems {
+			last[Key(e)] = Payload(e)
+		}
+		keys := make([]uint32, 0, len(last))
+		for k := range last {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		want := make([]uint64, len(keys))
+		for i, k := range keys {
+			want[i] = Elem(k, last[k])
+		}
+
+		checkTree(t, "InsertBatch", Empty().InsertBatch(elems), want)
+
+		one := Empty()
+		for _, e := range elems {
+			one = one.Insert(e)
+		}
+		checkTree(t, "Insert (in order)", one, want)
+
+		rev := Empty()
+		for i := len(want) - 1; i >= 0; i-- {
+			rev = rev.Insert(want[i])
+		}
+		checkTree(t, "Insert (reverse order)", rev, want)
+
+		checkTree(t, "FromSorted", FromSorted(want), want)
+
+		// A key that is not present must not be found.
+		for probe := uint32(0); ; probe++ {
+			if _, present := last[probe]; !present {
+				if v, ok := Empty().InsertBatch(elems).Find(probe); ok {
+					t.Fatalf("Find(%d) = %#x, true; key was never inserted", probe, v)
+				}
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzGraphEdgeListParse feeds arbitrary bytes to the weighted-edge-list
+// parser. ReadWEL must never panic; when it accepts an input, the
+// invariants it documents must hold (n is 1 + the max vertex ID, weights
+// are ≥ 1) and a WriteWEL → ReadWEL round trip must reproduce the edges
+// exactly.
+func FuzzGraphEdgeListParse(f *testing.F) {
+	f.Add([]byte("# demo graph\n0 1 2\n1 2\n\n3 0 7\n"))
+	f.Add([]byte("0 0\n"))
+	f.Add([]byte("4294967295 0 1\n"))
+	f.Add([]byte("0 1 0\n"))
+	f.Add([]byte("not an edge list"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges, n, err := ReadWEL(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		maxID := -1
+		for _, e := range edges {
+			if e.W < 1 {
+				t.Fatalf("accepted edge with weight %d (< 1): %+v", e.W, e)
+			}
+			if int(e.Src) > maxID {
+				maxID = int(e.Src)
+			}
+			if int(e.Dst) > maxID {
+				maxID = int(e.Dst)
+			}
+		}
+		if n != maxID+1 {
+			t.Fatalf("n = %d, want 1 + max vertex ID = %d", n, maxID+1)
+		}
+
+		var buf bytes.Buffer
+		if err := WriteWEL(&buf, edges, "fuzz round-trip"); err != nil {
+			t.Fatalf("WriteWEL failed on accepted edges: %v", err)
+		}
+		edges2, n2, err := ReadWEL(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if n2 != n || len(edges2) != len(edges) {
+			t.Fatalf("round trip changed shape: n %d→%d, edges %d→%d", n, n2, len(edges), len(edges2))
+		}
+		for i := range edges {
+			if edges[i] != edges2[i] {
+				t.Fatalf("round trip changed edge %d: %+v → %+v", i, edges[i], edges2[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the canonical file:line:col: [analyzer] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over the whole loaded module at once
+// (module-wide passes let atomicmix correlate accesses across packages).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(pass *Pass)
+}
+
+// Pass hands an analyzer the loaded packages and a reporting sink.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	name  string
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Atomicmix, Poolbalance, Ctxflow, Sentinelcmp, Lockscope}
+}
+
+// Run executes the analyzers over pkgs, applies //lint:ignore
+// suppressions, and returns the surviving diagnostics sorted by
+// position. Malformed suppressions (missing reason) surface as "lint"
+// diagnostics themselves, so a suppression can never silently rot.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Fset: fset, Pkgs: pkgs, name: a.Name, diags: &diags}
+		a.Run(pass)
+	}
+	directives, bad := collectDirectives(fset, pkgs)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d, directives) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, bad...)
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].File != kept[j].File {
+			return kept[i].File < kept[j].File
+		}
+		if kept[i].Line != kept[j].Line {
+			return kept[i].Line < kept[j].Line
+		}
+		if kept[i].Col != kept[j].Col {
+			return kept[i].Col < kept[j].Col
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}
+
+// Relativize rewrites absolute file names in diagnostics to be relative
+// to root (clearer output, stable across machines for golden tests).
+func Relativize(diags []Diagnostic, root string) {
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	file      string
+	line      int
+	analyzers []string
+}
+
+// collectDirectives parses "//lint:ignore analyzer[,analyzer...] reason"
+// comments. A directive suppresses matching diagnostics on its own line
+// (trailing comment) and on the line immediately below (comment above
+// the offending statement). The reason is mandatory.
+func collectDirectives(fset *token.FileSet, pkgs []*Package) ([]directive, []Diagnostic) {
+	var dirs []directive
+	var bad []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad = append(bad, Diagnostic{
+							File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Analyzer: "lint",
+							Message:  "malformed //lint:ignore: want \"//lint:ignore analyzer reason\" (reason is mandatory)",
+						})
+						continue
+					}
+					dirs = append(dirs, directive{
+						file:      pos.Filename,
+						line:      pos.Line,
+						analyzers: strings.Split(fields[0], ","),
+					})
+				}
+			}
+		}
+	}
+	return dirs, bad
+}
+
+func suppressed(d Diagnostic, dirs []directive) bool {
+	for _, dir := range dirs {
+		if dir.file != d.File || (dir.line != d.Line && dir.line != d.Line-1) {
+			continue
+		}
+		for _, a := range dir.analyzers {
+			if a == d.Analyzer || a == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// shared AST/type helpers
+
+// inspectStack walks root calling f with each node and the stack of its
+// ancestors (outermost first, not including n itself). Returning false
+// prunes the subtree.
+func inspectStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !f(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// calleeFunc resolves the *types.Func a call invokes (package function
+// or method), or nil for builtins, conversions and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes the named package-level
+// function of the package with the given import path.
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	if f.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// baseObject resolves the variable or field an lvalue expression roots
+// at: x → x, x.f → f, x[i] → base of x. Returns nil when unresolvable.
+func baseObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return baseObject(info, e.X)
+	}
+	return nil
+}
+
+// enclosingFuncDecl returns the innermost FuncDecl on the ancestor
+// stack, or nil.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// isErrorType reports whether t is the error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// namedPathName splits a (possibly pointer-wrapped) named type into its
+// package path and type name; ok=false for everything else.
+func namedPathName(t types.Type) (path, name string, ok bool) {
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), true
+}
+
+// exprText renders a short source-like form of an expression for
+// diagnostics.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return exprText(e.X)
+	case *ast.StarExpr:
+		return "*" + exprText(e.X)
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "(...)"
+	}
+	return "<expr>"
+}

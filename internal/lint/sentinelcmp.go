@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Sentinelcmp flags == / != comparisons against sentinel error values
+// (package-level error variables named Err*/err*). The system's errors
+// wrap sentinels with %w and the engine returns a typed *CanceledError
+// that only *matches* ErrCanceled through its Is method — a direct
+// pointer comparison silently never fires. errors.Is is the only
+// correct match.
+//
+// The one sanctioned place for a direct comparison is inside an
+// `Is(target error) bool` method, which is the errors.Is protocol
+// itself (engine.CanceledError.Is compares target == ErrCanceled by
+// design).
+var Sentinelcmp = &Analyzer{
+	Name: "sentinelcmp",
+	Doc:  "sentinel errors must be matched with errors.Is, not == / !=",
+	Run:  runSentinelcmp,
+}
+
+// isSentinelError reports whether expr resolves to a package-level
+// error variable named like a sentinel.
+func isSentinelError(info *types.Info, expr ast.Expr) (types.Object, bool) {
+	var obj types.Object
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return nil, false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil, false
+	}
+	if !isErrorType(v.Type()) {
+		return nil, false
+	}
+	name := v.Name()
+	return v, strings.HasPrefix(name, "Err") || strings.HasPrefix(name, "err")
+}
+
+// inIsMethod reports whether the stack is inside a method implementing
+// the errors.Is protocol: func (T) Is(target error) bool.
+func inIsMethod(info *types.Info, stack []ast.Node) bool {
+	fd := enclosingFuncDecl(stack)
+	if fd == nil || fd.Recv == nil || fd.Name.Name != "Is" {
+		return false
+	}
+	fn, _ := info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && isErrorType(sig.Params().At(0).Type()) &&
+		sig.Results().Len() == 1 && types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+}
+
+func runSentinelcmp(pass *Pass) {
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					obj, ok := isSentinelError(pkg.Info, n.X)
+					if !ok {
+						obj, ok = isSentinelError(pkg.Info, n.Y)
+					}
+					if !ok || inIsMethod(pkg.Info, stack) {
+						return true
+					}
+					pass.Reportf(n.OpPos,
+						"%s comparison against sentinel %s misses wrapped errors (the system wraps sentinels with %%w and typed errors match via Is); use errors.Is",
+						n.Op, obj.Name())
+				case *ast.SwitchStmt:
+					if n.Tag == nil {
+						return true
+					}
+					if t := pkg.Info.Types[n.Tag].Type; !isErrorType(t) {
+						return true
+					}
+					for _, clause := range n.Body.List {
+						cc, ok := clause.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, v := range cc.List {
+							if obj, ok := isSentinelError(pkg.Info, v); ok && !inIsMethod(pkg.Info, stack) {
+								pass.Reportf(v.Pos(),
+									"switch case compares the error against sentinel %s by identity; use a switch on errors.Is conditions instead", obj.Name())
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package atomicmix is the golden-test corpus for the atomicmix
+// analyzer. Lines marked with want comments carry their expected
+// diagnostic message substrings.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// --- violation 1: scalar accessed atomically and plainly -------------
+
+var counter uint64
+
+func bumpCounter() {
+	atomic.AddUint64(&counter, 1)
+}
+
+func readCounterPlain() uint64 {
+	return counter // want "accessed atomically"
+}
+
+// --- violation 2: struct field mixed across methods ------------------
+
+type stats struct {
+	hits uint64
+}
+
+func (s *stats) bump() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func (s *stats) snapshot() uint64 {
+	return s.hits // want "accessed atomically"
+}
+
+// --- violation 3: plain element access inside a concurrent closure ---
+
+func elemRace(vals []uint64) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		atomic.AddUint64(&vals[0], 1)
+	}()
+	go func() {
+		defer wg.Done()
+		vals[1] = 7 // want "races with the atomic updates"
+	}()
+	wg.Wait()
+}
+
+// --- legal 1: plain init before the workers are published ------------
+
+func initThenShare(n int) []uint64 {
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = 0 // straight-line pre-publish init: legal
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		atomic.AddUint64(&vals[0], 1)
+	}()
+	wg.Wait()
+	return vals
+}
+
+// --- legal 2: method-based atomic types cannot be misused ------------
+
+type gauge struct {
+	v atomic.Uint64
+}
+
+func (g *gauge) inc() {
+	g.v.Add(1)
+}
+
+func (g *gauge) get() uint64 {
+	return g.v.Load()
+}
+
+// --- legal 3: passing the element's address on (helper owns it) ------
+
+func casHelper(p *uint64) {
+	atomic.AddUint64(p, 1)
+}
+
+func addrHandOff(vals []uint64) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		atomic.AddUint64(&vals[0], 1)
+		casHelper(&vals[1]) // address passed to a helper: legal
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,56 @@
+// Package ctxflow is the golden-test corpus for the ctxflow analyzer.
+// Lines marked with want comments carry their expected diagnostic
+// message substrings.
+package ctxflow
+
+import "context"
+
+// --- violation 1: Background minted mid-library ----------------------
+
+func fetch() error {
+	ctx := context.Background() // want "severs the caller's cancellation chain"
+	return PingCtx(ctx)
+}
+
+// --- violation 2: context stored in a struct field -------------------
+
+type session struct {
+	ctx context.Context // want "stored in a struct field"
+}
+
+// --- violation 3: exported ...Ctx ignores its ctx --------------------
+
+func RunCtx(ctx context.Context, n int) int { // want "never forwards or consults"
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// --- violation 4: exported ...Ctx discards its ctx parameter ---------
+
+func StepCtx(_ context.Context) {} // want "discards its context parameter"
+
+// --- legal 1: the Foo -> FooCtx compatibility-wrapper idiom ----------
+
+func Ping() error {
+	return PingCtx(context.Background())
+}
+
+// --- legal 2: a ...Ctx entry point that consults its ctx -------------
+
+func PingCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// --- legal 3: forwarding ctx down the chain --------------------------
+
+func ProbeCtx(ctx context.Context) error {
+	return PingCtx(ctx)
+}
+
+var _ = session{}

@@ -1,0 +1,10 @@
+// Command corpusmain shows the ctxflow exemption for package main:
+// commands and examples are where a context chain legitimately starts.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // legal: package main mints the root ctx
+	_ = ctx
+}

@@ -1,0 +1,12 @@
+// Package server shows the ctxflow serving-layer exemption: a
+// request-scoped object in the serving layer may carry its request
+// context.
+package server
+
+import "context"
+
+type request struct {
+	ctx context.Context // legal: serving-layer request object
+}
+
+func (r *request) context() context.Context { return r.ctx }

@@ -1,0 +1,81 @@
+// Package engine is the golden-test corpus for the lockscope analyzer
+// (the rule keys on the engine/core package names). Lines marked with
+// want comments carry their expected diagnostic message substrings.
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// --- violation 1: channel receive under the lock ---------------------
+
+func (g *guarded) recvLocked() int {
+	g.mu.Lock()
+	v := <-g.ch // want "channel receive while holding g.mu"
+	g.mu.Unlock()
+	return v
+}
+
+// --- violation 2: WaitGroup.Wait under a deferred unlock -------------
+
+func (g *guarded) waitLocked(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	wg.Wait() // want "sync.WaitGroup.Wait while holding g.mu"
+}
+
+// --- violation 3: channel send under the lock ------------------------
+
+func (g *guarded) sendLocked() {
+	g.mu.Lock()
+	g.ch <- 1 // want "channel send while holding g.mu"
+	g.mu.Unlock()
+}
+
+// --- violation 4: sleeping inside a branch of the critical section ---
+
+func (g *guarded) sleepLocked(cond bool) {
+	g.mu.Lock()
+	if cond {
+		time.Sleep(time.Millisecond) // want "time.Sleep while holding g.mu"
+	}
+	g.mu.Unlock()
+}
+
+// --- legal 1: release before blocking --------------------------------
+
+func (g *guarded) recvUnlocked() int {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	return <-g.ch
+}
+
+// --- legal 2: a spawned goroutine has its own lock state -------------
+
+func (g *guarded) spawn() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	go func() {
+		g.ch <- g.n
+	}()
+}
+
+// --- legal 3: branch that unlocks before its blocking op -------------
+
+func (g *guarded) branchRelease(cond bool) {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		g.ch <- 1
+		return
+	}
+	g.mu.Unlock()
+}

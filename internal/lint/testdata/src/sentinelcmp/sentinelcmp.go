@@ -1,0 +1,62 @@
+// Package sentinelcmp is the golden-test corpus for the sentinelcmp
+// analyzer. Lines marked with want comments carry their expected
+// diagnostic message substrings.
+package sentinelcmp
+
+import "errors"
+
+var ErrNotFound = errors.New("not found")
+
+func lookup(k int) error {
+	if k < 0 {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// --- violation 1: == against a sentinel ------------------------------
+
+func bad1(k int) bool {
+	err := lookup(k)
+	return err == ErrNotFound // want "use errors.Is"
+}
+
+// --- violation 2: != against a sentinel ------------------------------
+
+func bad2(k int) bool {
+	err := lookup(k)
+	return err != ErrNotFound // want "use errors.Is"
+}
+
+// --- violation 3: switch on the error by identity --------------------
+
+func bad3(k int) string {
+	switch lookup(k) {
+	case ErrNotFound: // want "by identity"
+		return "missing"
+	default:
+		return "ok"
+	}
+}
+
+// --- legal 1: errors.Is ----------------------------------------------
+
+func good1(k int) bool {
+	return errors.Is(lookup(k), ErrNotFound)
+}
+
+// --- legal 2: the errors.Is protocol itself --------------------------
+
+type wrapErr struct{ msg string }
+
+func (e *wrapErr) Error() string { return e.msg }
+
+func (e *wrapErr) Is(target error) bool {
+	return target == ErrNotFound // legal: this IS how errors.Is matches
+}
+
+// --- legal 3: nil comparisons are not sentinel comparisons -----------
+
+func good2(k int) bool {
+	return lookup(k) == nil
+}

@@ -1,0 +1,31 @@
+// Package suppress exercises the //lint:ignore directive handling.
+// Lines marked with want comments carry their expected diagnostic
+// message substrings.
+package suppress
+
+import "errors"
+
+var ErrGone = errors.New("gone")
+
+// Suppressed by a directive on the line above.
+func check(err error) bool {
+	//lint:ignore sentinelcmp corpus exercises the comment-above form
+	return err == ErrGone
+}
+
+// Suppressed by a trailing directive on the same line.
+func check2(err error) bool {
+	return err == ErrGone //lint:ignore sentinelcmp corpus exercises the trailing form
+}
+
+// A directive without a reason is itself a diagnostic and suppresses
+// nothing.
+func badDirective(err error) bool {
+	//lint:ignore sentinelcmp
+	return err == ErrGone // want "use errors.Is"
+}
+
+// Unsuppressed control.
+func unsuppressed(err error) bool {
+	return err == ErrGone // want "use errors.Is"
+}

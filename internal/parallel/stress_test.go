@@ -1,0 +1,75 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// mix is a cheap deterministic value stream so every run proposes the
+// same values (and therefore the same expected minimum) without any
+// randomness.
+func mix(worker, i int) uint64 {
+	v := uint64(worker)*0x9E3779B97F4A7C15 + uint64(i)*0xC13FA9A902A6328F
+	v ^= v >> 29
+	return v | 1 // keep clear of 0 so the asserts below are unambiguous
+}
+
+// TestAddUint64Contention hammers one word from GOMAXPROCS goroutines
+// under the race detector; any lost update changes the final total.
+func TestAddUint64Contention(t *testing.T) {
+	const perWorker = 50000
+	workers := runtime.GOMAXPROCS(0)
+	var word atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				AddUint64(&word, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := word.Load(), uint64(workers)*perWorker; got != want {
+		t.Fatalf("lost updates: total = %d, want %d", got, want)
+	}
+}
+
+// TestCASMinUint64Contention has every worker propose a deterministic
+// value stream against one shared word; the survivor must be the global
+// minimum of everything proposed, regardless of interleaving.
+func TestCASMinUint64Contention(t *testing.T) {
+	const perWorker = 50000
+	workers := runtime.GOMAXPROCS(0)
+	less := func(a, b uint64) bool { return a < b }
+
+	expected := ^uint64(0)
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			if v := mix(w, i); v < expected {
+				expected = v
+			}
+		}
+	}
+
+	var word atomic.Uint64
+	word.Store(^uint64(0))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				CASMinUint64(&word, mix(w, i), less)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := word.Load(); got != expected {
+		t.Fatalf("CASMin lost the minimum: final = %#x, want %#x", got, expected)
+	}
+}
