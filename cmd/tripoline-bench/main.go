@@ -36,7 +36,7 @@ func main() {
 		batches  = flag.Int("batches", 1, "update batches applied per load point (paper: 5)")
 		probs    = flag.String("problems", "", "comma-separated problem subset (default: all eight)")
 		graphs   = flag.String("graphs", "", "comma-separated graph subset (default: all four)")
-		ablate   = flag.String("ablate", "", "comma-separated ablations to run (flat, batch, selection, dual)")
+		ablate   = flag.String("ablate", "", "comma-separated ablations to run (flat, deltaflat, batch, selection, dual)")
 		seed     = flag.Uint64("seed", 0x7121, "experiment seed")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 		verify   = flag.Bool("verify", false, "run the cross-validation self-check instead of benchmarks")
@@ -133,6 +133,13 @@ func main() {
 							os.Stdout, g, "SSSP", o.Scale, o.K, o.Queries, o.BatchSize, o.Seed))
 					}
 				})
+			case "deltaflat":
+				run("ablation deltaflat", func() {
+					for _, g := range graphsForAblation {
+						report.AddAblationDeltaFlat(bench.AblationDeltaFlat(
+							os.Stdout, g, o.Scale, nil, o.Repeats, o.Seed))
+					}
+				})
 			case "batch":
 				run("ablation batch", func() {
 					for _, g := range graphsForAblation {
@@ -155,7 +162,7 @@ func main() {
 					}
 				})
 			default:
-				fmt.Fprintf(os.Stderr, "unknown ablation %q (want flat, batch, selection, dual)\n", a)
+				fmt.Fprintf(os.Stderr, "unknown ablation %q (want flat, deltaflat, batch, selection, dual)\n", a)
 				os.Exit(2)
 			}
 		}

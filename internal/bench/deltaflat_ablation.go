@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/streamgraph"
+)
+
+// AblationDeltaFlatResult prices mirror maintenance for one batch size
+// on one graph: the delta patch from the parent mirror against a full
+// rebuild of the same snapshot, plus what the delta actually did (bytes
+// bulk-copied vs. walked out of the C-tree) and how well the slab
+// recycler served the builds.
+type AblationDeltaFlatResult struct {
+	Graph          string
+	BatchSize      int
+	ChangedSources int
+	// TouchedFrac is changed sources over vertices — the regime where
+	// delta-patching wins is TouchedFrac ≪ 1.
+	TouchedFrac float64
+	DeltaBuild  time.Duration
+	FullBuild   time.Duration
+	// Speedup is FullBuild/DeltaBuild (>1 means the delta path won).
+	Speedup         float64
+	CopiedBytes     int64
+	WalkedBytes     int64
+	RecyclerHitRate float64
+}
+
+// AblationDeltaFlat measures delta-patched mirror maintenance on the
+// named graph: the graph is loaded to 60%, then consecutive disjoint
+// batches of each size are applied and both build paths are timed on
+// the resulting snapshot (minimum of repeats runs; each run releases
+// its mirror so the recycler serves steady-state slabs). Each delta
+// mirror is also verified against the snapshot's adjacency, so the
+// ablation doubles as an equivalence check at bench scale.
+func AblationDeltaFlat(w io.Writer, gname string, scale int, sizes []int, repeats int, seed uint64) []AblationDeltaFlatResult {
+	cfg, ok := gen.ByName(gname, scale)
+	if !ok {
+		panic("bench: unknown graph " + gname)
+	}
+	if len(sizes) == 0 {
+		sizes = []int{100, 1_000, 10_000, 100_000}
+	}
+	// Builds are ms-scale, so timing is min-of-N; floor N so the default
+	// -repeats 1 still measures patch work rather than scheduler noise.
+	if repeats < 7 {
+		repeats = 7
+	}
+	edges := gen.RMAT(cfg)
+	stream := gen.MakeStream(cfg.N(), edges, cfg.Directed, 0.6, len(edges), seed)
+	var rest []graph.Edge
+	if len(stream.Batches) > 0 {
+		rest = stream.Batches[0]
+	}
+
+	g := streamgraph.New(cfg.N(), cfg.Directed)
+	g.InsertEdges(stream.Initial)
+	prevSnap := g.Acquire()
+	prev := prevSnap.Flatten()
+	met := g.MirrorMetrics()
+
+	var out []AblationDeltaFlatResult
+	cursor := 0
+	for _, size := range sizes {
+		if cursor+size > len(rest) {
+			fmt.Fprintf(w, "Ablation (deltaflat, %s): skipping batch=%d (only %d held-out edges left)\n",
+				gname, size, len(rest)-cursor)
+			continue
+		}
+		batch := rest[cursor : cursor+size]
+		cursor += size
+		snap, changed := g.InsertEdges(batch)
+
+		copied0, walked0 := met.CopiedBytes.Value(), met.WalkedBytes.Value()
+		res := AblationDeltaFlatResult{
+			Graph: gname, BatchSize: size, ChangedSources: len(changed),
+			TouchedFrac: float64(len(changed)) / float64(snap.NumVertices()),
+		}
+		for r := 0; r < repeats; r++ {
+			t0 := time.Now()
+			f := snap.MaterializeFlatFrom(prev, changed)
+			d := time.Since(t0)
+			if r == 0 {
+				res.CopiedBytes = met.CopiedBytes.Value() - copied0
+				res.WalkedBytes = met.WalkedBytes.Value() - walked0
+				requireEqualMirror(gname, snap, f)
+			}
+			f.Release()
+			if res.DeltaBuild == 0 || d < res.DeltaBuild {
+				res.DeltaBuild = d
+			}
+		}
+		for r := 0; r < repeats; r++ {
+			t0 := time.Now()
+			f := snap.MaterializeFlat()
+			d := time.Since(t0)
+			f.Release()
+			if res.FullBuild == 0 || d < res.FullBuild {
+				res.FullBuild = d
+			}
+		}
+		if res.DeltaBuild > 0 {
+			res.Speedup = float64(res.FullBuild) / float64(res.DeltaBuild)
+		}
+		if gets := met.SlabGets.Value(); gets > 0 {
+			res.RecyclerHitRate = 1 - float64(met.SlabMisses.Value())/float64(gets)
+		}
+
+		// Advance the parent chain the way core does: cache the new
+		// version's mirror via the delta path, retire the parent.
+		snap.FlattenFrom(prev, changed)
+		prevSnap.RetireFlat()
+		prevSnap = snap
+		prev = snap.BuiltFlat()
+
+		fmt.Fprintf(w, "Ablation (deltaflat, %s, batch=%d): changed=%d (%.3f%% of V) delta=%v full=%v (%.2fx) copied=%s walked=%s recycler=%.0f%%\n",
+			gname, size, res.ChangedSources, 100*res.TouchedFrac,
+			res.DeltaBuild.Round(time.Microsecond), res.FullBuild.Round(time.Microsecond), res.Speedup,
+			fmtBytes(res.CopiedBytes), fmtBytes(res.WalkedBytes), 100*res.RecyclerHitRate)
+		out = append(out, res)
+	}
+	return out
+}
+
+// requireEqualMirror cross-checks a delta-built mirror against the
+// snapshot's adjacency: every span must match the tree walk.
+func requireEqualMirror(gname string, snap *streamgraph.Snapshot, f *streamgraph.Flat) {
+	if f.NumEdges() != snap.NumEdges() || f.NumVertices() != snap.NumVertices() {
+		panic(fmt.Sprintf("bench: deltaflat mirror shape diverged on %s: %d/%d arcs, %d/%d vertices",
+			gname, f.NumEdges(), snap.NumEdges(), f.NumVertices(), snap.NumVertices()))
+	}
+	for v := 0; v < snap.NumVertices(); v++ {
+		adj, wgt := f.OutSpan(graph.VertexID(v))
+		i := 0
+		ok := true
+		snap.ForEachOut(graph.VertexID(v), func(d graph.VertexID, w graph.Weight) {
+			if i >= len(adj) || adj[i] != d || wgt[i] != w {
+				ok = false
+			}
+			i++
+		})
+		if !ok || i != len(adj) {
+			panic(fmt.Sprintf("bench: deltaflat mirror diverged on %s at vertex %d", gname, v))
+		}
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

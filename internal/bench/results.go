@@ -20,13 +20,29 @@ type Report struct {
 		Seed      uint64    `json:"seed"`
 		Timestamp time.Time `json:"timestamp"`
 	} `json:"meta"`
-	Table3       []Table3JSON                `json:"table3,omitempty"`
-	Table4       []Table4JSON                `json:"table4,omitempty"`
-	Table5       []Table5JSON                `json:"table5,omitempty"`
-	DD           []DDResult                  `json:"dd,omitempty"`
-	Fig11        map[string][]float64        `json:"figure11,omitempty"`
-	Fig12        map[string][]Figure12Bucket `json:"figure12,omitempty"`
-	AblationFlat []AblationFlatJSON          `json:"ablation_flat,omitempty"`
+	Table3            []Table3JSON                `json:"table3,omitempty"`
+	Table4            []Table4JSON                `json:"table4,omitempty"`
+	Table5            []Table5JSON                `json:"table5,omitempty"`
+	DD                []DDResult                  `json:"dd,omitempty"`
+	Fig11             map[string][]float64        `json:"figure11,omitempty"`
+	Fig12             map[string][]Figure12Bucket `json:"figure12,omitempty"`
+	AblationFlat      []AblationFlatJSON          `json:"ablation_flat,omitempty"`
+	AblationDeltaFlat []AblationDeltaFlatJSON     `json:"ablation_deltaflat,omitempty"`
+}
+
+// AblationDeltaFlatJSON flattens an AblationDeltaFlatResult for
+// serialization.
+type AblationDeltaFlatJSON struct {
+	Graph           string  `json:"graph"`
+	BatchSize       int     `json:"batch_size"`
+	ChangedSources  int     `json:"changed_sources"`
+	TouchedFrac     float64 `json:"touched_frac"`
+	DeltaBuildSec   float64 `json:"delta_build_sec"`
+	FullBuildSec    float64 `json:"full_build_sec"`
+	Speedup         float64 `json:"speedup"`
+	CopiedBytes     int64   `json:"copied_bytes"`
+	WalkedBytes     int64   `json:"walked_bytes"`
+	RecyclerHitRate float64 `json:"recycler_hit_rate"`
 }
 
 // AblationFlatJSON flattens an AblationFlatResult for serialization.
@@ -134,6 +150,19 @@ func (r *Report) AddAblationFlat(a AblationFlatResult) {
 		DeltaSpeedup:    a.DeltaSpeedup,
 		FullSpeedup:     a.FullSpeedup,
 	})
+}
+
+// AddAblationDeltaFlat records delta-flatten ablation points.
+func (r *Report) AddAblationDeltaFlat(rs []AblationDeltaFlatResult) {
+	for _, a := range rs {
+		r.AblationDeltaFlat = append(r.AblationDeltaFlat, AblationDeltaFlatJSON{
+			Graph: a.Graph, BatchSize: a.BatchSize,
+			ChangedSources: a.ChangedSources, TouchedFrac: a.TouchedFrac,
+			DeltaBuildSec: a.DeltaBuild.Seconds(), FullBuildSec: a.FullBuild.Seconds(),
+			Speedup: a.Speedup, CopiedBytes: a.CopiedBytes, WalkedBytes: a.WalkedBytes,
+			RecyclerHitRate: a.RecyclerHitRate,
+		})
+	}
 }
 
 // WriteJSON serializes the report, indented, to w.

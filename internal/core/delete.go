@@ -46,6 +46,7 @@ func (s *System) ApplyDeletionsCtx(ctx context.Context, batch []graph.Edge) (Bat
 	if err := ctx.Err(); err != nil {
 		return BatchReport{}, &engine.CanceledError{Cause: err}
 	}
+	parent := s.cur
 	snap, changed := s.G.DeleteEdges(batch)
 	rep := BatchReport{
 		BatchEdges:     len(batch),
@@ -55,6 +56,10 @@ func (s *System) ApplyDeletionsCtx(ctx context.Context, batch []graph.Edge) (Bat
 	start := time.Now()
 	if len(changed) > 0 {
 		undirected := !s.G.Directed()
+		// Deletions invalidate span reuse (an unchanged vertex's span may
+		// alias arcs that no longer exist downstream of it), so the mirror
+		// is rebuilt in full — the data-structure analogue of the standing
+		// Rebuild recovery path.
 		view := s.viewOf(snap)
 		for _, name := range s.order {
 			switch h := s.handlers[name].(type) {
@@ -66,7 +71,7 @@ func (s *System) ApplyDeletionsCtx(ctx context.Context, batch []graph.Edge) (Bat
 		}
 	}
 	rep.StandingElapsed = time.Since(start)
-	s.recordHistory()
+	s.advance(parent, snap)
 	return rep, nil
 }
 

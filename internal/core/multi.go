@@ -72,7 +72,9 @@ func (s *System) QueryManyCtx(ctx context.Context, problem string, sources []gra
 		}
 		s.observe(u)
 	}
-	return mq.queryMulti(ctx, s.view(), sources)
+	view, release := s.pinView()
+	defer release()
+	return mq.queryMulti(ctx, view, sources)
 }
 
 func (h *simpleHandler) queryMulti(ctx context.Context, g engine.View, sources []graph.VertexID) (*MultiResult, error) {

@@ -101,6 +101,12 @@ type System struct {
 	// flatten selects the evaluation view handed to the engine: the
 	// snapshot's flat CSR mirror (default) or the C-tree directly.
 	flatten bool
+	// cur is the snapshot produced by the most recent mutation through
+	// this system (initially the construction-time snapshot). The single
+	// writer uses it to delta-patch the next version's mirror from the
+	// parent's and to retire the parent's slabs afterwards; query paths
+	// never read it.
+	cur *streamgraph.Snapshot
 }
 
 // NewSystem wraps a streaming graph. k is the number of standing queries
@@ -115,7 +121,7 @@ func NewSystem(g *streamgraph.Graph, k int) *System {
 	if k > 64 {
 		k = 64
 	}
-	return &System{G: g, K: k, handlers: make(map[string]handler), flatten: true}
+	return &System{G: g, K: k, handlers: make(map[string]handler), flatten: true, cur: g.Acquire()}
 }
 
 // SetFlatten toggles the flat-adjacency fast path. When on (the default)
@@ -129,7 +135,9 @@ func (s *System) SetFlatten(on bool) { s.flatten = on }
 
 // viewOf returns the engine view of snap under the current flatten
 // setting. Flatten is cached per snapshot (sync.Once), so repeated calls
-// against one version pay the build exactly once.
+// against one version pay the build exactly once. Writer-side only —
+// query paths use pinView, which holds a reference against concurrent
+// slab recycling.
 func (s *System) viewOf(snap *streamgraph.Snapshot) engine.View {
 	if s.flatten {
 		return snap.Flatten()
@@ -137,10 +145,59 @@ func (s *System) viewOf(snap *streamgraph.Snapshot) engine.View {
 	return snap
 }
 
-// view acquires the current snapshot and returns its engine view.
-func (s *System) view() engine.View {
-	return s.viewOf(s.G.Acquire())
+// updateView returns the evaluation view for the standing maintenance
+// that follows an insertion batch. On the flat path the new snapshot's
+// mirror is delta-patched from the parent version's mirror using the
+// batch's changed-source list — O(|changed| + Δdegree + memcpy) instead
+// of a full O(V+E) walk — falling back to a full build when the parent
+// mirror was never materialized (FlattenFrom itself also falls back if
+// the delta preconditions don't hold, e.g. after out-of-band mutations).
+func (s *System) updateView(parent, snap *streamgraph.Snapshot, changed []graph.VertexID) engine.View {
+	if !s.flatten {
+		return snap
+	}
+	if parent != nil {
+		if pf := parent.BuiltFlat(); pf != nil {
+			return snap.FlattenFrom(pf, changed)
+		}
+	}
+	return snap.Flatten()
 }
+
+// advance publishes snap as the system's current version: the parent's
+// mirror (if any) is retired so its slabs recycle into future builds —
+// queries that pinned it keep it alive until they release — and history,
+// when enabled, records the new snapshot.
+func (s *System) advance(parent, snap *streamgraph.Snapshot) {
+	s.cur = snap
+	if parent != nil && parent != snap {
+		parent.RetireFlat()
+	}
+	s.recordHistory()
+}
+
+// pinView acquires the evaluation view for one user query together with
+// its release callback. On the flat path the mirror is pinned
+// (Flat.Retain) so the writer retiring the snapshot mid-query cannot
+// recycle the slabs under the reader; a failed pin means a batch
+// retired the mirror between Acquire and Retain, so re-acquiring
+// observes the newer version. The tree view needs no pin — C-tree nodes
+// are immutable and garbage-collected.
+func (s *System) pinView() (engine.View, func()) {
+	if s.flatten {
+		for attempt := 0; attempt < 2; attempt++ {
+			snap := s.G.Acquire()
+			if f := snap.Flatten(); f.Retain() {
+				return f, f.Release
+			}
+		}
+		// Two consecutive retirements mid-acquire: serve this query from
+		// the tree rather than loop against a hot writer.
+	}
+	return s.G.Acquire(), releaseNoop
+}
+
+func releaseNoop() {}
 
 // TopDegreeRoots returns the top-k out-degree vertices of the snapshot —
 // the topology-based standing query selection (Eq. 14).
@@ -196,6 +253,9 @@ func (s *System) Enable(name string) error {
 	}
 	s.handlers[name] = h
 	s.order = append(s.order, name)
+	// The enable-time snapshot becomes the delta-patch parent of the
+	// first batch (its mirror was just materialized by viewOf above).
+	s.cur = snap
 	return nil
 }
 
@@ -214,6 +274,7 @@ func (s *System) EnableCustom(p engine.Problem) error {
 	roots := TopDegreeRoots(snap, s.K)
 	s.handlers[name] = &simpleHandler{mgr: standing.New(p, s.viewOf(snap), roots, s.G.Directed())}
 	s.order = append(s.order, name)
+	s.cur = snap
 	return nil
 }
 
@@ -240,6 +301,7 @@ func (s *System) ApplyBatchCtx(ctx context.Context, batch []graph.Edge) (BatchRe
 	if err := ctx.Err(); err != nil {
 		return BatchReport{}, &engine.CanceledError{Cause: err}
 	}
+	parent := s.cur
 	snap, changed := s.G.InsertEdges(batch)
 	rep := BatchReport{
 		BatchEdges:     len(batch),
@@ -247,12 +309,12 @@ func (s *System) ApplyBatchCtx(ctx context.Context, batch []graph.Edge) (BatchRe
 		Version:        snap.Version(),
 	}
 	start := time.Now()
-	view := s.viewOf(snap)
+	view := s.updateView(parent, snap, changed)
 	for _, name := range s.order {
 		rep.StandingStats.Add(s.handlers[name].update(view, changed))
 	}
 	rep.StandingElapsed = time.Since(start)
-	s.recordHistory()
+	s.advance(parent, snap)
 	return rep, nil
 }
 
@@ -304,7 +366,9 @@ func (s *System) QueryCtx(ctx context.Context, name string, u graph.VertexID) (*
 		return nil, err
 	}
 	s.observe(u)
-	return h.queryDelta(ctx, s.view(), u)
+	view, release := s.pinView()
+	defer release()
+	return h.queryDelta(ctx, view, u)
 }
 
 // QueryFull answers a user query with a from-scratch (non-incremental)
@@ -322,7 +386,9 @@ func (s *System) QueryFullCtx(ctx context.Context, name string, u graph.VertexID
 	if err := s.checkSource(u); err != nil {
 		return nil, err
 	}
-	return h.queryFull(ctx, s.view(), u)
+	view, release := s.pinView()
+	defer release()
+	return h.queryFull(ctx, view, u)
 }
 
 // ---------------------------------------------------------------------

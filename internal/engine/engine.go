@@ -75,6 +75,17 @@ type FlatView interface {
 	OutSpan(v graph.VertexID) ([]graph.VertexID, []graph.Weight)
 }
 
+// Versioned is optionally implemented by views that carry the snapshot
+// version they were materialized from (*streamgraph.Snapshot and
+// *streamgraph.Flat both do). Consumers use it to pair evaluation state
+// with the graph version it converged on — standing maintenance records
+// it so the "standing state matches its snapshot version" invariant is
+// observable rather than implied.
+type Versioned interface {
+	// Version is the monotonically increasing snapshot version.
+	Version() uint64
+}
+
 // Problem defines one vertex-specific graph problem over encoded values.
 // Implementations must be monotonic (Relax never yields a value worse than
 // its input chain) and async-safe; all of package props' problems are.

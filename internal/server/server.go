@@ -127,6 +127,10 @@ func New(sys *core.System, g *streamgraph.Graph, opts ...Option) *Server {
 	if s.met == nil {
 		s.met = newServerMetrics(metrics.NewRegistry())
 	}
+	// Route the graph's mirror-maintenance instruments (delta vs. full
+	// builds, bytes copied vs. walked, slab recycler traffic) into the
+	// server registry so they surface in /v1/stats and /v1/metrics.
+	g.SetMirrorMetrics(streamgraph.RegisterMirrorMetrics(s.met.reg))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/query", s.lifecycle("query", s.queryTimeout, s.handleQuery))

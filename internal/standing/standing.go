@@ -42,6 +42,16 @@ type Manager struct {
 	LastMaintain time.Duration
 	// TotalStats accumulates engine work across the lifetime.
 	TotalStats engine.Stats
+	// LastVersion is the snapshot version the standing state last
+	// converged on, when the evaluation view carries one
+	// (engine.Versioned); 0 before any versioned maintenance.
+	LastVersion uint64
+
+	// maskScratch backs Update's per-changed-source seed masks. Update
+	// runs on every batch and the engine reads the masks only during
+	// initial seeding, so one scratch slice per manager is safe: the
+	// manager is maintained by the single writer.
+	maskScratch []uint64
 }
 
 // New fully evaluates the K standing queries rooted at roots on the given
@@ -49,6 +59,7 @@ type Manager struct {
 func New(p engine.Problem, g engine.View, roots []graph.VertexID, directed bool) *Manager {
 	m := &Manager{Problem: p, Roots: roots, directed: directed}
 	start := time.Now()
+	m.noteVersion(g)
 	m.Forward = engine.NewState(p, g.NumVertices(), len(roots))
 	seeds := make([]graph.VertexID, len(roots))
 	masks := make([]uint64, len(roots))
@@ -86,10 +97,17 @@ func (m *Manager) Update(g engine.View, changed []graph.VertexID) engine.Stats {
 	if len(m.Roots) == 64 {
 		fullMask = ^uint64(0)
 	}
-	masks := make([]uint64, len(changed))
+	masks := m.maskScratch
+	if cap(masks) < len(changed) {
+		masks = make([]uint64, len(changed))
+	} else {
+		masks = masks[:len(changed)]
+	}
 	for i := range masks {
 		masks[i] = fullMask
 	}
+	m.maskScratch = masks
+	m.noteVersion(g)
 	m.Forward.Grow(g.NumVertices())
 	stats.Add(m.Forward.RunPush(g, changed, masks))
 	if m.Reverse != nil {
@@ -110,6 +128,7 @@ func (m *Manager) Update(g engine.View, changed []graph.VertexID) engine.Stats {
 func (m *Manager) Rebuild(g engine.View) engine.Stats {
 	start := time.Now()
 	var stats engine.Stats
+	m.noteVersion(g)
 	m.Forward = engine.NewState(m.Problem, g.NumVertices(), len(m.Roots))
 	seeds := make([]graph.VertexID, len(m.Roots))
 	masks := make([]uint64, len(m.Roots))
@@ -137,21 +156,42 @@ func (m *Manager) Rebuild(g engine.View) engine.Stats {
 // graphs this is Forward.Value(u, k) (paths are symmetric); on directed
 // graphs it comes from the reversed state.
 func (m *Manager) PropUR(u graph.VertexID) []uint64 {
-	out := make([]uint64, len(m.Roots))
+	return m.PropURInto(nil, u)
+}
+
+// PropURInto is PropUR writing into dst (grown when too small), so hot
+// paths that call it per query — or per slot, like Radii — can reuse one
+// buffer instead of allocating K words each time.
+func (m *Manager) PropURInto(dst []uint64, u graph.VertexID) []uint64 {
+	if cap(dst) < len(m.Roots) {
+		dst = make([]uint64, len(m.Roots))
+	} else {
+		dst = dst[:len(m.Roots)]
+	}
 	src := m.Forward
 	if m.directed {
 		src = m.Reverse
 	}
 	for k := range m.Roots {
-		out[k] = src.Value(u, k)
+		dst[k] = src.Value(u, k)
 	}
-	return out
+	return dst
 }
 
 // Select picks the best standing query for user source u (Eq. 15) and
-// returns its slot and property(u, r_slot).
+// returns its slot and property(u, r_slot). K is at most 64, so the
+// candidate properties fit a stack buffer and Select allocates nothing.
 func (m *Manager) Select(u graph.VertexID) (slot int, propUR uint64) {
-	return triangle.SelectStanding(m.Problem, m.PropUR(u))
+	var buf [64]uint64
+	return triangle.SelectStanding(m.Problem, m.PropURInto(buf[:0], u))
+}
+
+// noteVersion records the evaluation view's snapshot version when it
+// carries one.
+func (m *Manager) noteVersion(g engine.View) {
+	if v, ok := g.(engine.Versioned); ok {
+		m.LastVersion = v.Version()
+	}
 }
 
 // DeltaFor materializes the Δ(u, r*) initialization array for a user

@@ -1,6 +1,7 @@
 package streamgraph
 
 import (
+	"fmt"
 	"testing"
 
 	"tripoline/internal/gen"
@@ -97,6 +98,38 @@ func BenchmarkFlattenVsTree(b *testing.B) {
 }
 
 var sinkFlat uint64
+
+// BenchmarkFlattenFromVsFull prices one mirror build per batch size: the
+// delta patch from the parent mirror (MaterializeFlatFrom) against a
+// full rebuild (MaterializeFlat) of the same snapshot. Every iteration
+// releases its mirror back to the recycler, so both paths measure
+// steady-state patch/walk work rather than page allocation.
+func BenchmarkFlattenFromVsFull(b *testing.B) {
+	cfg := gen.Config{Name: "bench", LogN: 16, AvgDegree: 12, Directed: true, Seed: 6}
+	edges := gen.RMAT(cfg)
+	const maxBatch = 100_000
+	base := edges[:len(edges)-maxBatch]
+	tail := edges[len(edges)-maxBatch:]
+	for _, size := range []int{100, 1_000, 10_000, 100_000} {
+		g := FromEdges(cfg.N(), base, true)
+		prev := g.Acquire().Flatten()
+		snap2, changed := g.InsertEdges(tail[:size])
+		b.Run(fmt.Sprintf("delta/batch=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f := snap2.MaterializeFlatFrom(prev, changed)
+				f.Release()
+			}
+		})
+		b.Run(fmt.Sprintf("full/batch=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f := snap2.MaterializeFlat()
+				f.Release()
+			}
+		})
+	}
+}
 
 func BenchmarkDeleteBatch(b *testing.B) {
 	cfg := gen.Config{Name: "bench", LogN: 14, AvgDegree: 12, Directed: true, Seed: 4}

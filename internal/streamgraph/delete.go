@@ -66,7 +66,7 @@ func (g *Graph) DeleteEdges(batch []graph.Edge) (*Snapshot, []graph.VertexID) {
 		actual = append(actual, src)
 	}
 
-	snap := &Snapshot{table: table, n: old.n, m: m, version: old.version + 1}
+	snap := &Snapshot{table: table, n: old.n, m: m, version: old.version + 1, shared: g.shared}
 	g.latest.Store(snap)
 	return snap, actual
 }

@@ -1,6 +1,9 @@
 package streamgraph
 
 import (
+	"sort"
+	"sync/atomic"
+
 	"tripoline/internal/ctree"
 	"tripoline/internal/graph"
 	"tripoline/internal/parallel"
@@ -15,14 +18,26 @@ import (
 // flat slab turns each of those per-edge tree walks into an array scan.
 //
 // A Flat satisfies the engine's View interface (plus its FlatView fast
-// path via OutSpan), so it can be passed anywhere a snapshot can. It is
-// immutable and safe for concurrent readers.
+// path via OutSpan), so it can be passed anywhere a snapshot can. Its
+// arrays are immutable while at least one reference is held; the slabs
+// backing them come from the graph's recycler and return there when the
+// last reference drops (see Retain/Release and Snapshot.RetireFlat), so
+// readers that outlive the snapshot's tenure as the latest version must
+// pin the mirror with Retain.
 type Flat struct {
 	off     []int64
 	adj     []graph.VertexID
 	wgt     []graph.Weight
 	n       int
 	version uint64
+
+	// shared/offs/arcs tie the mirror to the recycler that owns its
+	// backing slabs; refs counts the owner (the snapshot, dropped by
+	// RetireFlat) plus any pinned readers.
+	shared *flatShared
+	offs   *offSlab
+	arcs   *arcSlab
+	refs   atomic.Int64
 }
 
 // flattenGrain is the vertex-chunk size used when filling the slab in
@@ -31,25 +46,129 @@ type Flat struct {
 const flattenGrain = 256
 
 // Flatten materializes (once) and returns the flat-adjacency mirror of
-// this snapshot. The first caller pays the build; every subsequent
-// caller on the same snapshot gets the cached slab. Safe for concurrent
-// use.
+// this snapshot via a full build. The first caller pays the build; every
+// subsequent caller on the same snapshot gets the cached slab. Safe for
+// concurrent use.
 func (s *Snapshot) Flatten() *Flat {
-	s.flatOnce.Do(func() { s.flat = buildFlat(s) })
+	s.flatOnce.Do(func() {
+		s.flat = buildFlat(s)
+		s.flatBuilt.Store(true)
+	})
 	return s.flat
 }
 
+// FlattenFrom materializes (once) the snapshot's mirror by delta-patching
+// the parent version's mirror: unchanged vertex spans are bulk-copied
+// from prev's slab and only the changed sources (as returned by
+// InsertEdges for the batch that produced this snapshot) plus any
+// vertex-range growth are re-walked out of the C-tree — O(|changed| +
+// Δdegree + memcpy) instead of O(V+E). When the delta preconditions do
+// not hold (nil prev, version gap, shrunken vertex range, unsorted
+// changed list) it falls back to a full build, so the result is always
+// correct. prev must stay retained until the call returns; the caller
+// typically retires it right after (core does).
+//
+// Like Flatten, the build happens at most once per snapshot; a later
+// Flatten/FlattenFrom call returns the cached mirror regardless of which
+// path built it.
+func (s *Snapshot) FlattenFrom(prev *Flat, changed []graph.VertexID) *Flat {
+	s.flatOnce.Do(func() {
+		s.flat = s.MaterializeFlatFrom(prev, changed)
+		s.flatBuilt.Store(true)
+	})
+	return s.flat
+}
+
+// BuiltFlat returns the snapshot's mirror if it has been materialized
+// and not yet retired, else nil. It never triggers a build — this is
+// how core decides whether the next version can delta-patch.
+func (s *Snapshot) BuiltFlat() *Flat {
+	if s.flatBuilt.Load() && !s.flatRetired.Load() {
+		return s.flat
+	}
+	return nil
+}
+
+// RetireFlat drops the snapshot's owner reference on its mirror, letting
+// the backing slabs recycle once pinned readers release theirs. It is
+// idempotent and a no-op when no mirror was ever built; both core (after
+// the next version's mirror is built) and History (when the snapshot
+// falls out of the retention window) call it without coordinating.
+func (s *Snapshot) RetireFlat() {
+	if !s.flatBuilt.Load() {
+		return
+	}
+	if s.flatRetired.CompareAndSwap(false, true) {
+		s.flat.Release()
+	}
+}
+
+// MaterializeFlat builds a fresh, uncached mirror of the snapshot (full
+// walk). The caller owns the sole reference and must Release it;
+// benchmarks and ablations use this to measure builds without the
+// per-snapshot cache getting in the way.
+func (s *Snapshot) MaterializeFlat() *Flat { return buildFlat(s) }
+
+// MaterializeFlatFrom is FlattenFrom without the per-snapshot cache: it
+// builds a fresh mirror (delta-patched when the preconditions hold, full
+// otherwise) that the caller owns and must Release.
+func (s *Snapshot) MaterializeFlatFrom(prev *Flat, changed []graph.VertexID) *Flat {
+	if deltaPatchable(s, prev, changed) {
+		return buildFlatFrom(s, prev, changed)
+	}
+	return buildFlat(s)
+}
+
+// deltaPatchable reports whether prev's spans can seed this snapshot's
+// mirror: prev must mirror the immediate parent version (skipped
+// versions invalidate span reuse), the vertex range and the arc count
+// must not have shrunk (a shrunken arc count means the step was a
+// deletion — those rebuild in full, matching the standing Rebuild
+// recovery policy), and changed must be sorted, unique and in range
+// (the contract of InsertEdges; verified in O(|changed|) because a
+// violation would silently corrupt the mirror).
+func deltaPatchable(s *Snapshot, prev *Flat, changed []graph.VertexID) bool {
+	if prev == nil || prev.version+1 != s.version || prev.n > s.n || s.m < prev.off[prev.n] {
+		return false
+	}
+	last := -1
+	for _, c := range changed {
+		if int(c) <= last || int(c) >= s.n {
+			return false
+		}
+		last = int(c)
+	}
+	return true
+}
+
 func buildFlat(s *Snapshot) *Flat {
+	sh := s.fs()
+	met := sh.metrics()
 	n := s.n
-	off := make([]int64, n+1)
+
+	met.SlabGets.Inc()
+	offs := sh.rec.getOff(classFor(int64(n) + 1))
+	if offs == nil {
+		met.SlabMisses.Inc()
+		offs = newOffSlab(classFor(int64(n) + 1))
+	}
+	off := offs.off[:n+1]
+	off[0] = 0 // recycled slabs carry stale data
 	parallel.For(n, func(v int) {
 		off[v+1] = int64(s.table.Get(v).Size())
 	})
 	for v := 0; v < n; v++ {
 		off[v+1] += off[v]
 	}
-	adj := make([]graph.VertexID, off[n])
-	wgt := make([]graph.Weight, off[n])
+
+	met.SlabGets.Inc()
+	arcs := sh.rec.getArc(classFor(off[n]))
+	if arcs == nil {
+		met.SlabMisses.Inc()
+		arcs = newArcSlab(classFor(off[n]))
+	}
+	adj := arcs.adj[:off[n]]
+	wgt := arcs.wgt[:off[n]]
 	parallel.ForRange(n, flattenGrain, func(start, end int) {
 		i := off[start]
 		for v := start; v < end; v++ {
@@ -60,7 +179,223 @@ func buildFlat(s *Snapshot) *Flat {
 			})
 		}
 	})
-	return &Flat{off: off, adj: adj, wgt: wgt, n: n, version: s.version}
+
+	met.FullBuilds.Inc()
+	met.WalkedBytes.Add(mirrorBytes(off[n], int64(n)))
+	f := &Flat{off: off, adj: adj, wgt: wgt, n: n, version: s.version,
+		shared: sh, offs: offs, arcs: arcs}
+	f.refs.Store(1)
+	return f
+}
+
+// span is one contiguous chunk of delta-patch work: off-table indices
+// (or vertices, for arc copies) [lo, hi), with the offset shift that
+// applies to the whole chunk.
+type span struct {
+	lo, hi int
+	shift  int64
+}
+
+// chunked appends [lo, hi) to spans split into pieces of at most grain,
+// so the parallel scheduler can balance them.
+func chunked(spans []span, lo, hi int, shift int64, grain int) []span {
+	for lo < hi {
+		end := lo + grain
+		if end > hi {
+			end = hi
+		}
+		spans = append(spans, span{lo: lo, hi: end, shift: shift})
+		lo = end
+	}
+	return spans
+}
+
+// buildFlatFrom builds the snapshot's mirror from the parent version's.
+// Preconditions (deltaPatchable): prev mirrors version s.version-1 with
+// prev.n ≤ s.n, and changed is the sorted unique in-range source list of
+// the batch between them. The plan:
+//
+//  1. one pass over only the changed sources computes their new degrees
+//     and a running degree delta (prefix sum over |changed| terms);
+//  2. the off table is the parent's plus a per-segment constant shift —
+//     every index between two consecutive changed vertices shares one
+//     shift, so segments rewrite in parallel; growth entries extend it;
+//  3. unchanged vertex runs bulk-copy their arc spans (adj and wgt)
+//     straight out of the parent slab; only changed and new vertices
+//     re-walk their C-trees.
+func buildFlatFrom(s *Snapshot, prev *Flat, changed []graph.VertexID) *Flat {
+	sh := s.fs()
+	met := sh.metrics()
+	oldN, n := prev.n, s.n
+
+	// Changed sources at or past the parent's vertex range fall in the
+	// growth region [oldN, n), which is re-walked wholesale below.
+	cut := sort.Search(len(changed), func(i int) bool { return int(changed[i]) >= oldN })
+	chg := changed[:cut]
+
+	newDeg := make([]int64, len(chg))
+	parallel.For(len(chg), func(i int) {
+		newDeg[i] = int64(s.table.Get(int(chg[i])).Size())
+	})
+	// cum[i] is the total degree delta of chg[:i]: off indices in
+	// (chg[i-1], chg[i]] shift by cum[i].
+	cum := make([]int64, len(chg)+1)
+	for i, c := range chg {
+		cum[i+1] = cum[i] + newDeg[i] - (prev.off[c+1] - prev.off[c])
+	}
+
+	met.SlabGets.Inc()
+	offs := sh.rec.getOff(classFor(int64(n) + 1))
+	if offs == nil {
+		met.SlabMisses.Inc()
+		offs = newOffSlab(classFor(int64(n) + 1))
+	}
+	off := offs.off[:n+1]
+
+	// Segment i covers off indices (chg[i-1], chg[i]] — shift cum[i] —
+	// expressed half-open as [prevIdx, chg[i]+1). The trailing segment
+	// runs to oldN+1 with the full delta.
+	offSpans := make([]span, 0, len(chg)+1+(oldN+1)/flattenGrain)
+	prevIdx := 0
+	for i, c := range chg {
+		offSpans = chunked(offSpans, prevIdx, int(c)+1, cum[i], flattenGrain)
+		prevIdx = int(c) + 1
+	}
+	offSpans = chunked(offSpans, prevIdx, oldN+1, cum[len(chg)], flattenGrain)
+	parallel.For(len(offSpans), func(i int) {
+		sp := offSpans[i]
+		for t := sp.lo; t < sp.hi; t++ {
+			off[t] = prev.off[t] + sp.shift
+		}
+	})
+
+	// Vertex-range growth: extend the off table with the new vertices'
+	// degrees (each is either a changed source or isolated).
+	var grown int64
+	if n > oldN {
+		growDeg := make([]int64, n-oldN)
+		parallel.For(n-oldN, func(i int) {
+			growDeg[i] = int64(s.table.Get(oldN + i).Size())
+		})
+		for i, d := range growDeg {
+			off[oldN+1+i] = off[oldN+i] + d
+			grown += d
+		}
+	}
+
+	m := off[n]
+	met.SlabGets.Inc()
+	arcs := sh.rec.getArc(classFor(m))
+	if arcs == nil {
+		met.SlabMisses.Inc()
+		arcs = newArcSlab(classFor(m))
+	}
+	adj := arcs.adj[:m]
+	wgt := arcs.wgt[:m]
+
+	// Bulk-copy the arc spans of the unchanged vertex runs between
+	// consecutive changed vertices. Source and destination spans have
+	// equal length by construction (the shift is constant inside a run).
+	copySpans := make([]span, 0, len(chg)+1+oldN/flattenGrain)
+	prevIdx = 0
+	for _, c := range chg {
+		copySpans = chunked(copySpans, prevIdx, int(c), 0, flattenGrain)
+		prevIdx = int(c) + 1
+	}
+	copySpans = chunked(copySpans, prevIdx, oldN, 0, flattenGrain)
+	parallel.For(len(copySpans), func(i int) {
+		sp := copySpans[i]
+		srcLo, srcHi := prev.off[sp.lo], prev.off[sp.hi]
+		dstLo := off[sp.lo]
+		copy(adj[dstLo:dstLo+(srcHi-srcLo)], prev.adj[srcLo:srcHi])
+		copy(wgt[dstLo:dstLo+(srcHi-srcLo)], prev.wgt[srcLo:srcHi])
+	})
+
+	// Re-walk the C-tree only for changed and new vertices.
+	walk := func(v int) {
+		i := off[v]
+		s.table.Get(v).ForEach(func(e uint64) {
+			adj[i] = ctree.Key(e)
+			wgt[i] = ctree.Payload(e)
+			i++
+		})
+	}
+	parallel.For(len(chg), func(i int) { walk(int(chg[i])) })
+	parallel.For(n-oldN, func(i int) { walk(oldN + i) })
+
+	walked := grown
+	for _, d := range newDeg {
+		walked += d
+	}
+	met.DeltaBuilds.Inc()
+	met.WalkedBytes.Add(walked * arcBytes)
+	met.CopiedBytes.Add((m-walked)*arcBytes + int64(oldN+1)*offEntryBytes)
+
+	f := &Flat{off: off, adj: adj, wgt: wgt, n: n, version: s.version,
+		shared: sh, offs: offs, arcs: arcs}
+	f.refs.Store(1)
+	return f
+}
+
+// arcBytes / offEntryBytes price one adjacency+weight pair and one
+// offset entry for the copied/walked byte counters.
+const (
+	arcBytes      = 8
+	offEntryBytes = 8
+)
+
+// mirrorBytes is the byte size of a full mirror with m arcs over n
+// vertices.
+func mirrorBytes(m, n int64) int64 { return m*arcBytes + (n+1)*offEntryBytes }
+
+// Retain pins the mirror for a reader, preventing its slabs from being
+// recycled until the matching Release. It reports false when the last
+// reference is already gone (the mirror was retired and drained), in
+// which case the caller must re-acquire a current snapshot instead.
+func (f *Flat) Retain() bool {
+	for {
+		old := f.refs.Load()
+		if old < 1 {
+			return false
+		}
+		if f.refs.CompareAndSwap(old, old+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference (a reader's pin, or the owner's via
+// Snapshot.RetireFlat). The last release returns the backing slabs to
+// the recycler and poisons the mirror's slices.
+func (f *Flat) Release() {
+	switch r := f.refs.Add(-1); {
+	case r == 0:
+		f.recycle()
+	case r < 0:
+		panic("streamgraph: Flat released more times than retained")
+	}
+}
+
+// recycle returns the slabs to the pools. Only the last Release calls
+// it, so no reader can be scanning the arrays here; nilling them makes
+// any use-after-retire fail fast instead of observing a slab that a
+// newer build is overwriting.
+func (f *Flat) recycle() {
+	sh := f.shared
+	offs, arcs := f.offs, f.arcs
+	f.off, f.adj, f.wgt = nil, nil, nil
+	f.offs, f.arcs = nil, nil
+	if sh == nil {
+		return
+	}
+	if offs != nil {
+		sh.rec.putOff(offs)
+		sh.metrics().SlabPuts.Inc()
+	}
+	if arcs != nil {
+		sh.rec.putArc(arcs)
+		sh.metrics().SlabPuts.Inc()
+	}
 }
 
 // NumVertices returns the number of vertices.

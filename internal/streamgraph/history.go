@@ -37,6 +37,12 @@ func (h *History) Record(g *Graph) *Snapshot {
 	}
 	h.snaps = append(h.snaps, snap)
 	if len(h.snaps) > h.capacity {
+		// Retire evicted versions' mirrors so their slabs recycle into
+		// future builds; pinned readers (Retain) keep a retired mirror's
+		// slabs alive until they release it.
+		for _, old := range h.snaps[:len(h.snaps)-h.capacity] {
+			old.RetireFlat()
+		}
 		h.snaps = h.snaps[len(h.snaps)-h.capacity:]
 	}
 	return snap

@@ -151,6 +151,6 @@ func Load(r io.Reader) (*Graph, error) {
 	g.directed = dir == 1
 	// Collapse the load batches into a single logical version.
 	snap := g.latest.Load()
-	g.latest.Store(&Snapshot{table: snap.table, n: snap.n, m: snap.m, version: 1})
+	g.latest.Store(&Snapshot{table: snap.table, n: snap.n, m: snap.m, version: 1, shared: g.shared})
 	return g, nil
 }

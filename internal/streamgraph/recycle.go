@@ -1,0 +1,182 @@
+package streamgraph
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"tripoline/internal/graph"
+	"tripoline/internal/metrics"
+)
+
+// Slab recycling for flat mirrors. Every batch produces a new snapshot
+// and therefore a new mirror; without reuse that is a multi-GB
+// allocation per batch on large graphs, all of it garbage as soon as
+// the next version lands. The recycler keeps retired mirrors' off/adj/
+// wgt arrays in size-classed sync.Pools so the next build starts from a
+// warm slab instead of fresh pages.
+//
+// Ownership protocol (checked by the poolbalance lint analyzer for the
+// acquisition sites and by Flat's reference count at runtime):
+//
+//   - a builder acquires slabs via getOff/getArc and stores them into
+//     the Flat it returns — the Flat owns them for its lifetime;
+//   - readers pin the Flat with Retain/Release while they scan it;
+//   - the owner drops its reference with Snapshot.RetireFlat (idempotent;
+//     called by core after the next version's mirror is built, and by
+//     History when it trims a version out of its window);
+//   - the last Release returns the slabs to the pools and poisons the
+//     Flat's slices, so a use-after-retire fails fast instead of reading
+//     a slab that a newer build is concurrently overwriting.
+
+// slabClasses bounds the size-class space; class c holds slices with
+// capacity exactly 1<<c elements, so 48 classes cover any slab that
+// fits in memory.
+const slabClasses = 48
+
+// classFor returns the size class whose capacity (1<<class) is the
+// smallest power of two ≥ n.
+func classFor(n int64) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(n - 1))
+}
+
+// offSlab is a pooled offset array (capacity 1<<class entries).
+type offSlab struct {
+	off   []int64
+	class int
+}
+
+// arcSlab is a pooled adjacency+weight pair (capacity 1<<class arcs
+// each; the two are always acquired and released together because they
+// are always the same length).
+type arcSlab struct {
+	adj   []graph.VertexID
+	wgt   []graph.Weight
+	class int
+}
+
+func newOffSlab(class int) *offSlab {
+	return &offSlab{off: make([]int64, 1<<class), class: class}
+}
+
+func newArcSlab(class int) *arcSlab {
+	return &arcSlab{
+		adj:   make([]graph.VertexID, 1<<class),
+		wgt:   make([]graph.Weight, 1<<class),
+		class: class,
+	}
+}
+
+// slabRecycler holds one sync.Pool per size class for each slab kind.
+// The zero value is ready to use.
+type slabRecycler struct {
+	off [slabClasses]sync.Pool
+	arc [slabClasses]sync.Pool
+}
+
+// getOff returns a pooled off slab of the class, or nil on a miss (the
+// pools have no New: the caller allocates and counts the miss).
+func (r *slabRecycler) getOff(class int) *offSlab {
+	sl, _ := r.off[class].Get().(*offSlab)
+	return sl
+}
+
+func (r *slabRecycler) putOff(sl *offSlab) {
+	r.off[sl.class].Put(sl)
+}
+
+// getArc returns a pooled arc slab of the class, or nil on a miss.
+func (r *slabRecycler) getArc(class int) *arcSlab {
+	sl, _ := r.arc[class].Get().(*arcSlab)
+	return sl
+}
+
+func (r *slabRecycler) putArc(sl *arcSlab) {
+	r.arc[sl.class].Put(sl)
+}
+
+// MirrorMetrics instruments mirror maintenance: how often the delta
+// path is taken versus a full rebuild, how many bytes each build copied
+// from the parent slab versus walked out of the C-tree, and how often
+// slab acquisitions were served from the recycler. The recycler hit
+// rate is 1 - misses/gets.
+type MirrorMetrics struct {
+	FullBuilds  *metrics.Counter
+	DeltaBuilds *metrics.Counter
+	CopiedBytes *metrics.Counter
+	WalkedBytes *metrics.Counter
+	SlabGets    *metrics.Counter
+	SlabMisses  *metrics.Counter
+	SlabPuts    *metrics.Counter
+}
+
+// NewMirrorMetrics returns standalone (unregistered) instruments.
+func NewMirrorMetrics() *MirrorMetrics {
+	return &MirrorMetrics{
+		FullBuilds:  &metrics.Counter{},
+		DeltaBuilds: &metrics.Counter{},
+		CopiedBytes: &metrics.Counter{},
+		WalkedBytes: &metrics.Counter{},
+		SlabGets:    &metrics.Counter{},
+		SlabMisses:  &metrics.Counter{},
+		SlabPuts:    &metrics.Counter{},
+	}
+}
+
+// RegisterMirrorMetrics returns instruments registered in reg, so they
+// appear in its Prometheus text and JSON snapshot views (the server
+// wires the graph's metrics into its registry this way, which is how
+// the fields reach /v1/stats and /v1/metrics).
+func RegisterMirrorMetrics(reg *metrics.Registry) *MirrorMetrics {
+	return &MirrorMetrics{
+		FullBuilds:  reg.Counter("tripoline_mirror_full_builds_total", "Flat mirrors built by a full O(V+E) walk."),
+		DeltaBuilds: reg.Counter("tripoline_mirror_delta_builds_total", "Flat mirrors built by delta-patching the parent mirror."),
+		CopiedBytes: reg.Counter("tripoline_mirror_copied_bytes_total", "Mirror bytes bulk-copied from the parent slab."),
+		WalkedBytes: reg.Counter("tripoline_mirror_walked_bytes_total", "Mirror bytes produced by walking the C-tree."),
+		SlabGets:    reg.Counter("tripoline_slab_gets_total", "Slab acquisitions for mirror builds."),
+		SlabMisses:  reg.Counter("tripoline_slab_misses_total", "Slab acquisitions that fell back to a fresh allocation."),
+		SlabPuts:    reg.Counter("tripoline_slab_puts_total", "Slabs returned to the recycler by retired mirrors."),
+	}
+}
+
+// flatShared is the mirror-maintenance state shared by every snapshot
+// of one Graph: the slab recycler and the (swappable) instruments.
+type flatShared struct {
+	rec slabRecycler
+	met atomic.Pointer[MirrorMetrics]
+}
+
+func newFlatShared() *flatShared {
+	sh := &flatShared{}
+	sh.met.Store(NewMirrorMetrics())
+	return sh
+}
+
+func (sh *flatShared) metrics() *MirrorMetrics { return sh.met.Load() }
+
+// defaultFlatShared backs snapshots that were constructed without a
+// graph-owned flatShared (defensive: all constructors propagate one).
+var defaultFlatShared = newFlatShared()
+
+// fs returns the snapshot's mirror-maintenance state.
+func (s *Snapshot) fs() *flatShared {
+	if s.shared != nil {
+		return s.shared
+	}
+	return defaultFlatShared
+}
+
+// MirrorMetrics returns the graph's mirror-maintenance instruments.
+func (g *Graph) MirrorMetrics() *MirrorMetrics { return g.shared.metrics() }
+
+// SetMirrorMetrics replaces the graph's mirror-maintenance instruments,
+// typically with registry-backed ones from RegisterMirrorMetrics.
+// Counts accumulated so far are not carried over.
+func (g *Graph) SetMirrorMetrics(m *MirrorMetrics) {
+	if m != nil {
+		g.shared.met.Store(m)
+	}
+}

@@ -32,11 +32,16 @@ type Snapshot struct {
 	version uint64
 
 	// flat is the lazily built flat-adjacency mirror of this version
-	// (see Flatten). Built at most once per snapshot and shared by all
-	// readers; it dies with the snapshot, so a new batch (= new
-	// snapshot) naturally invalidates it.
-	flatOnce sync.Once
-	flat     *Flat
+	// (see Flatten/FlattenFrom). Built at most once per snapshot and
+	// shared by all readers. Its backing slabs come from the graph-wide
+	// recycler (shared) and are reclaimed when the mirror is retired
+	// (RetireFlat) and every pinned reader has released it — a new batch
+	// no longer just invalidates the mirror, it recycles it.
+	flatOnce    sync.Once
+	flat        *Flat
+	flatBuilt   atomic.Bool
+	flatRetired atomic.Bool
+	shared      *flatShared
 }
 
 // NumVertices returns the number of vertices.
@@ -120,13 +125,16 @@ type Graph struct {
 	mu       sync.Mutex // serializes writers
 	latest   atomic.Pointer[Snapshot]
 	directed bool
+	// shared is the mirror-maintenance state (slab recycler +
+	// instruments) every snapshot of this graph draws from.
+	shared *flatShared
 }
 
 // New creates an empty streaming graph over n vertices. directed controls
 // whether InsertEdges mirrors each edge.
 func New(n int, directed bool) *Graph {
-	g := &Graph{directed: directed}
-	snap := &Snapshot{table: ctree.NewVertexTable(n), n: n}
+	g := &Graph{directed: directed, shared: newFlatShared()}
+	snap := &Snapshot{table: ctree.NewVertexTable(n), n: n, shared: g.shared}
 	g.latest.Store(snap)
 	return g
 }
@@ -226,7 +234,7 @@ func (g *Graph) InsertEdges(batch []graph.Edge) (*Snapshot, []graph.VertexID) {
 	}
 	sources = actual
 
-	snap := &Snapshot{table: table, n: n, m: m, version: old.version + 1}
+	snap := &Snapshot{table: table, n: n, m: m, version: old.version + 1, shared: g.shared}
 	g.latest.Store(snap)
 	return snap, sources
 }
