@@ -1,0 +1,195 @@
+package check
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		a := Generate(Params{Seed: seed})
+		b := Generate(Params{Seed: seed})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+		if string(Encode(a)) != string(Encode(b)) {
+			t.Fatalf("seed %d: encodings differ", seed)
+		}
+	}
+}
+
+func TestGenerateStartsWithSeedInsert(t *testing.T) {
+	s := Generate(Params{Seed: 42})
+	if len(s.Ops) == 0 || s.Ops[0].Kind != OpInsert || len(s.Ops[0].Edges) == 0 {
+		t.Fatalf("schedule does not open with a seed insert: %+v", s.Ops[0])
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		s := Generate(Params{Seed: seed})
+		got, err := Decode(Encode(s))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if !reflect.DeepEqual(s, got) {
+			t.Fatalf("seed %d: round trip changed the schedule\nwant %+v\ngot  %+v", seed, s, got)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformedInput(t *testing.T) {
+	cases := []string{
+		"",
+		"not-the-header\nseed 1\nn 4\n",
+		"check/v1\nseed x\nn 4\n",
+		"check/v1\nseed 1\nn 1\n",               // n below minimum
+		"check/v1\nseed 1\nn 9999\n",            // n above maximum
+		"check/v1\nseed 1\nn 4\nz 0 0\n",        // unknown op
+		"check/v1\nseed 1\nn 4\ni 1-1-1\n",      // self-loop
+		"check/v1\nseed 1\nn 4\ni 1-2\n",        // malformed edge
+		"check/v1\nseed 1\nn 4\nq Nope 0\n",     // unknown problem
+		"check/v1\nseed 1\nn 4\nq SSNSP 2000\n", // source over limit
+		"check/v1\nseed 1\nn 4\nc SSNSP 0 0\n",  // cancel step below 1
+		"check/v1\nseed 1\nn 4\nr SSNSP 0 99\n", // too many readers
+	}
+	for _, in := range cases {
+		if _, err := Decode([]byte(in)); err == nil {
+			t.Errorf("Decode(%q) accepted malformed input", in)
+		}
+	}
+}
+
+func TestDecodeDedupesWithinBatch(t *testing.T) {
+	s, err := Decode([]byte("check/v1\nseed 1\nn 4\ni 0-1-3 1-0-7 0-1-5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Ops[0].Edges) != 1 {
+		t.Fatalf("duplicate unordered pairs survived: %+v", s.Ops[0].Edges)
+	}
+	if s.Ops[0].Edges[0].W != 3 { // first mention wins
+		t.Fatalf("kept weight %d, want the first mention's", s.Ops[0].Edges[0].W)
+	}
+}
+
+func TestCleanSchedulesPass(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 10
+	}
+	RunMany(n, 11, Options{}, func(i int, v Verdict) {
+		if v.Diverged {
+			t.Errorf("schedule %d (seed %d) diverged: %v", i, v.Seed, v.Reasons)
+		}
+	})
+}
+
+func TestVerdictDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		s := Generate(Params{Seed: seed})
+		a := CheckSchedule(s, Options{})
+		b := CheckSchedule(s, Options{})
+		// The *Fired counters depend on engine superstep counts and are
+		// explicitly informational; everything else must be identical.
+		a.Faults.CancelsFired, b.Faults.CancelsFired = 0, 0
+		a.Faults.EvictsFired, b.Faults.EvictsFired = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: verdicts differ\n%+v\n%+v", seed, a, b)
+		}
+	}
+}
+
+func TestFaultModesAllExercised(t *testing.T) {
+	sum := RunMany(20, 1, Options{}, nil)
+	f := sum.Faults
+	if f.Cancels == 0 || f.DenyRetain == 0 || f.ForceFull == 0 || f.Evicts == 0 {
+		t.Fatalf("a fault mode was never attempted: %+v", f)
+	}
+	if f.EvictsFired == 0 {
+		t.Fatalf("no eviction hook ever fired: %+v", f)
+	}
+}
+
+// TestCorruptDeltaCaughtAndMinimized is the checker's acceptance
+// self-test: with the skew seam armed, every delta-patched mirror build
+// has one arc silently off by one, the divergence must be detected, and
+// dd-minimization must shrink the schedule to a handful of ops.
+func TestCorruptDeltaCaughtAndMinimized(t *testing.T) {
+	opts := Options{CorruptDelta: true}
+	caught := 0
+	for seed := uint64(1); seed <= 4; seed++ {
+		s := Generate(Params{Seed: seed})
+		v := CheckSchedule(s, opts)
+		if !v.Diverged {
+			continue
+		}
+		caught++
+		min := Shrink(s, opts)
+		if !CheckSchedule(min, opts).Diverged {
+			t.Fatalf("seed %d: shrunk schedule no longer diverges", seed)
+		}
+		if len(min.Ops) > 12 {
+			t.Fatalf("seed %d: shrunk to %d ops, want <= 12", seed, len(min.Ops))
+		}
+		if _, err := Decode(Encode(min)); err != nil {
+			t.Fatalf("seed %d: shrunk repro does not round-trip: %v", seed, err)
+		}
+	}
+	if caught == 0 {
+		t.Fatal("skewed delta patches were never detected — the checker is blind")
+	}
+}
+
+func TestShrinkCoverageKeepsKinds(t *testing.T) {
+	s := Generate(Params{Seed: 3})
+	min := ShrinkCoverage(s)
+	if got, want := kindsPresent(min.Ops), kindsPresent(s.Ops); !reflect.DeepEqual(got, want) {
+		t.Fatalf("coverage shrink lost op kinds: %v -> %v", want, got)
+	}
+	if len(min.Ops) > len(s.Ops) {
+		t.Fatalf("coverage shrink grew the schedule: %d -> %d", len(s.Ops), len(min.Ops))
+	}
+	if CheckSchedule(min, Options{}).Diverged {
+		t.Fatal("coverage-shrunk schedule diverges")
+	}
+}
+
+func TestStepCtxCancelsAfterConsults(t *testing.T) {
+	ctx := newCancelCtx(3)
+	for i := 0; i < 3; i++ {
+		if err := ctx.Err(); err != nil {
+			t.Fatalf("consult %d: premature cancellation: %v", i, err)
+		}
+	}
+	if err := ctx.Err(); err != context.Canceled {
+		t.Fatalf("consult 4: got %v, want context.Canceled", err)
+	}
+	// Sticky from then on.
+	if err := ctx.Err(); err != context.Canceled {
+		t.Fatalf("consult 5: got %v, want context.Canceled", err)
+	}
+	if ctx.Done() != nil {
+		t.Fatal("stepCtx must not expose a Done channel")
+	}
+}
+
+func TestStepCtxHookFiresOnce(t *testing.T) {
+	fired := 0
+	ctx := newHookCtx(2, func() { fired++ })
+	if ctx.fired() {
+		t.Fatal("fired before any consult")
+	}
+	for i := 0; i < 5; i++ {
+		if err := ctx.Err(); err != nil {
+			t.Fatalf("hook ctx must never cancel: %v", err)
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("hook ran %d times, want exactly once", fired)
+	}
+	if !ctx.fired() {
+		t.Fatal("fired() false after the hook ran")
+	}
+}

@@ -1,0 +1,437 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"tripoline/internal/core"
+	"tripoline/internal/engine"
+	"tripoline/internal/graph"
+	"tripoline/internal/oracle"
+	"tripoline/internal/streamgraph"
+	"tripoline/internal/xrand"
+)
+
+const (
+	// historyCap is large enough that no schedule (≤ maxOps mutations,
+	// even split) ever evicts a version the checker still needs.
+	historyCap = 4096
+	// prTolerance bounds PageRank comparisons: the standing ranks, a full
+	// parallel run, and the sequential oracle each sit within tol·d/(1−d)
+	// ≈ 5.7e-9 of the true fixpoint (see oracle.PageRank), so 1e-6 is
+	// comfortable and immune to atomic-add rounding.
+	prTolerance = 1e-6
+	// evictHookStep is the context consultation at which OpEvict retires
+	// the pinned snapshot's mirror — after the run has started, before it
+	// usually converges.
+	evictHookStep = 2
+	// maxReasons caps divergence messages per replay; one is enough to
+	// fail, the rest is diagnostics.
+	maxReasons = 8
+	// replayK is the standing-query count per problem.
+	replayK = 8
+)
+
+// variant describes one way of replaying a schedule. The base variant
+// (flat mirrors, batches as written) is cross-checked against the CSR
+// oracle inline; the metamorphic variants replay the same logical
+// workload through different code paths and must observe the same
+// results.
+type variant struct {
+	name    string
+	flatten bool
+	// shuffle permutes each batch's edges (order invariance: the graph is
+	// a set of edges, and first-wins dedup happened at Decode).
+	shuffle bool
+	// split applies each insert batch as this many consecutive
+	// sub-batches (batch-split invariance: more versions, more standing
+	// maintenance rounds, identical graph at every op boundary).
+	split int
+	// deleteReinsert deletes half the surviving edges after the last op
+	// and reinserts exactly what was deleted; the probe phase must then
+	// observe the identical final graph.
+	deleteReinsert bool
+	// corrupt arms the streamgraph skew seam (the checker's self-test).
+	corrupt bool
+}
+
+// observation is one query's observable outcome, in replay order.
+type observation struct {
+	op      int // op index; probes use indexes past len(Ops)
+	kind    OpKind
+	probe   bool
+	problem string
+	source  graph.VertexID
+	outcome string // ok | canceled | bad-source | no-version | error
+	version uint64
+	// volatile marks outcomes that legitimately differ across replays
+	// (cancellation firing depends on superstep counts, which engine
+	// scheduling can shift); they are oracle-verified when ok but
+	// excluded from cross-variant comparison.
+	volatile bool
+	values   []uint64
+	counts   []uint64
+}
+
+// FaultCounts reports how often each injected fault mode was exercised.
+// The *Fired counts tell whether the injection landed before the run
+// converged; they depend on engine superstep counts and are
+// informational, not part of the deterministic verdict.
+type FaultCounts struct {
+	Cancels      int `json:"cancels"`
+	CancelsFired int `json:"cancels_fired"`
+	DenyRetain   int `json:"deny_retain"`
+	ForceFull    int `json:"force_full"`
+	Evicts       int `json:"evicts"`
+	EvictsFired  int `json:"evicts_fired"`
+}
+
+func (f *FaultCounts) add(o FaultCounts) {
+	f.Cancels += o.Cancels
+	f.CancelsFired += o.CancelsFired
+	f.DenyRetain += o.DenyRetain
+	f.ForceFull += o.ForceFull
+	f.Evicts += o.Evicts
+	f.EvictsFired += o.EvictsFired
+}
+
+type replayResult struct {
+	obs         []observation
+	faults      FaultCounts
+	divergences []string
+}
+
+type replayer struct {
+	v   variant
+	sys *core.System
+	g   *streamgraph.Graph
+	res *replayResult
+	rng *xrand.RNG // shuffle permutations
+	// versions records every published version in order; Op.VerIdx
+	// indexes this list. snaps/csrs/oracle caches are keyed by version.
+	versions []uint64
+	snaps    map[uint64]*streamgraph.Snapshot
+	csrs     map[uint64]*graph.CSR
+	pr       map[uint64][]float64
+	cc       map[uint64][]uint64
+	ssnsp    map[[2]uint64][2][]uint64
+}
+
+// replay drives one core.System through the schedule under the given
+// variant, verifying every successful result against the CSR oracle for
+// the version the result reports.
+func replay(s *Schedule, v variant) *replayResult {
+	g := streamgraph.New(s.N, false)
+	if v.corrupt {
+		g.Seam().SetSkewDelta(true)
+	}
+	sys := core.NewSystem(g, replayK)
+	sys.SetFlatten(v.flatten)
+	for _, p := range Problems {
+		if err := sys.Enable(p); err != nil {
+			panic("check: enable " + p + ": " + err.Error())
+		}
+	}
+	sys.EnableHistory(historyCap)
+	r := &replayer{
+		v: v, sys: sys, g: g,
+		res:   &replayResult{},
+		rng:   xrand.New(s.Seed ^ 0x9e3779b97f4a7c15),
+		snaps: make(map[uint64]*streamgraph.Snapshot),
+		csrs:  make(map[uint64]*graph.CSR),
+		pr:    make(map[uint64][]float64),
+		cc:    make(map[uint64][]uint64),
+		ssnsp: make(map[[2]uint64][2][]uint64),
+	}
+	r.record()
+	for i, op := range s.Ops {
+		r.step(i, op)
+	}
+	if v.deleteReinsert {
+		r.deleteReinsertPhase()
+	}
+	r.probes(len(s.Ops) + 1)
+	return r.res
+}
+
+func (r *replayer) record() {
+	snap := r.g.Acquire()
+	r.snaps[snap.Version()] = snap
+	r.versions = append(r.versions, snap.Version())
+}
+
+// batches applies the variant's shuffle/split transforms to one insert
+// batch.
+func (r *replayer) batches(edges []graph.Edge) [][]graph.Edge {
+	e := edges
+	if r.v.shuffle {
+		e = append([]graph.Edge(nil), edges...)
+		r.rng.Shuffle(len(e), func(i, j int) { e[i], e[j] = e[j], e[i] })
+	}
+	if r.v.split <= 1 || len(e) < 2 {
+		return [][]graph.Edge{e}
+	}
+	mid := len(e) / 2
+	return [][]graph.Edge{e[:mid], e[mid:]}
+}
+
+func (r *replayer) step(i int, op Op) {
+	switch op.Kind {
+	case OpInsert:
+		for _, b := range r.batches(op.Edges) {
+			r.sys.ApplyBatch(b)
+			r.record()
+		}
+	case OpForceFull:
+		r.g.Seam().SetForceFull(true)
+		r.sys.ApplyBatch(op.Edges)
+		r.g.Seam().SetForceFull(false)
+		r.record()
+		r.res.faults.ForceFull++
+	case OpDelete:
+		r.sys.ApplyDeletions(op.Edges)
+		r.record()
+	case OpQuery:
+		res, err := r.sys.Query(op.Problem, op.Source)
+		r.observe(i, op, false, res, err, false)
+	case OpQueryFull:
+		res, err := r.sys.QueryFull(op.Problem, op.Source)
+		r.observe(i, op, false, res, err, false)
+	case OpQueryAt:
+		ver := r.versions[op.VerIdx%len(r.versions)]
+		res, err := r.sys.QueryAt(ver, op.Problem, op.Source)
+		r.observe(i, op, false, res, err, false)
+	case OpCancel:
+		// PageRank and CC answer Δ-queries instantly from standing state,
+		// so cancellation can only bite on their full evaluations; SSNSP's
+		// incremental run itself has supersteps to cancel.
+		ctx := newCancelCtx(op.Step)
+		var (
+			res *core.QueryResult
+			err error
+		)
+		if op.Problem == "SSNSP" {
+			res, err = r.sys.QueryCtx(ctx, op.Problem, op.Source)
+		} else {
+			res, err = r.sys.QueryFullCtx(ctx, op.Problem, op.Source)
+		}
+		r.res.faults.Cancels++
+		if err != nil && errors.Is(err, engine.ErrCanceled) {
+			r.res.faults.CancelsFired++
+		}
+		r.observe(i, op, false, res, err, true)
+	case OpReaders:
+		r.readers(i, op)
+	case OpEvict:
+		// Retire the pinned snapshot's mirror in the middle of the run —
+		// the history-eviction interleaving. The query must still return
+		// the correct result for the version it pinned.
+		snap := r.g.Acquire()
+		ctx := newHookCtx(evictHookStep, snap.RetireFlat)
+		res, err := r.sys.QueryFullCtx(ctx, op.Problem, op.Source)
+		r.res.faults.Evicts++
+		if ctx.fired() {
+			r.res.faults.EvictsFired++
+		}
+		r.observe(i, op, false, res, err, false)
+	case OpDenyRetain:
+		r.g.Seam().SetDenyRetain(true)
+		res, err := r.sys.Query(op.Problem, op.Source)
+		r.g.Seam().SetDenyRetain(false)
+		r.res.faults.DenyRetain++
+		r.observe(i, op, false, res, err, false)
+	}
+}
+
+func (r *replayer) readers(i int, op Op) {
+	n := r.g.Acquire().NumVertices()
+	type outcome struct {
+		res *core.QueryResult
+		err error
+	}
+	outs := make([]outcome, op.Readers)
+	var wg sync.WaitGroup
+	for j := 0; j < op.Readers; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			src := graph.VertexID((int(op.Source) + j) % n)
+			res, err := r.sys.Query(op.Problem, src)
+			outs[j] = outcome{res, err}
+		}(j)
+	}
+	wg.Wait()
+	for j, o := range outs {
+		opj := op
+		opj.Source = graph.VertexID((int(op.Source) + j) % n)
+		r.observe(i, opj, false, o.res, o.err, false)
+	}
+}
+
+// deleteReinsertPhase removes every other surviving edge and reinserts
+// exactly what it removed, with the weights read back from the graph —
+// the final graph is identical, so the probe phase must agree with the
+// base replay.
+func (r *replayer) deleteReinsertPhase() {
+	csr := r.g.Acquire().CSR(false)
+	var pairs []graph.Edge
+	for v := 0; v < csr.N; v++ {
+		csr.ForEachOut(graph.VertexID(v), func(d graph.VertexID, w graph.Weight) {
+			if graph.VertexID(v) < d {
+				pairs = append(pairs, graph.Edge{Src: graph.VertexID(v), Dst: d, W: w})
+			}
+		})
+	}
+	var half []graph.Edge
+	for i := 0; i < len(pairs); i += 2 {
+		half = append(half, pairs[i])
+	}
+	if len(half) == 0 {
+		return
+	}
+	r.sys.ApplyDeletions(half)
+	r.record()
+	r.sys.ApplyBatch(half)
+	r.record()
+}
+
+// probes issues a fixed query matrix against the final graph: per
+// problem, Δ-queries at three spread-out sources plus one full
+// evaluation. Probe observations are what the order-shifting variants
+// (split, delete-reinsert) are compared on.
+func (r *replayer) probes(opIdx int) {
+	n := r.g.Acquire().NumVertices()
+	sources := []graph.VertexID{0, graph.VertexID(n / 2), graph.VertexID(n - 1)}
+	for _, p := range Problems {
+		for _, src := range sources {
+			res, err := r.sys.Query(p, src)
+			r.observe(opIdx, Op{Kind: OpQuery, Problem: p, Source: src}, true, res, err, false)
+		}
+		res, err := r.sys.QueryFull(p, graph.VertexID(n/3))
+		r.observe(opIdx, Op{Kind: OpQueryFull, Problem: p, Source: graph.VertexID(n / 3)}, true, res, err, false)
+	}
+}
+
+func (r *replayer) observe(i int, op Op, probe bool, res *core.QueryResult, err error, volatileObs bool) {
+	obs := observation{
+		op: i, kind: op.Kind, probe: probe,
+		problem: op.Problem, source: op.Source, volatile: volatileObs,
+	}
+	switch {
+	case err == nil:
+		obs.outcome = "ok"
+		obs.version = res.Version
+		obs.values = res.Values
+		obs.counts = res.Counts
+		r.verify(&obs)
+	case errors.Is(err, engine.ErrCanceled):
+		obs.outcome = "canceled"
+	case errors.Is(err, core.ErrSourceOutOfRange):
+		obs.outcome = "bad-source"
+	case errors.Is(err, core.ErrNoSuchVersion):
+		obs.outcome = "no-version"
+	default:
+		obs.outcome = "error"
+	}
+	r.res.obs = append(r.res.obs, obs)
+}
+
+func (r *replayer) diverge(format string, args ...any) {
+	if len(r.res.divergences) < maxReasons {
+		r.res.divergences = append(r.res.divergences, fmt.Sprintf(format, args...))
+	}
+}
+
+// verify cross-checks one successful result against a from-scratch
+// sequential oracle on the CSR materialized from the C-tree at the
+// version the result reports. Materializing from the tree is the point:
+// a corrupted flat mirror cannot fool an oracle that never reads it.
+func (r *replayer) verify(obs *observation) {
+	where := fmt.Sprintf("%s: op %d %s src=%d v=%d", r.v.name, obs.op, obs.problem, obs.source, obs.version)
+	csr := r.csrAt(obs.version)
+	if csr == nil {
+		r.diverge("%s: result version not tracked", where)
+		return
+	}
+	if len(obs.values) != csr.N {
+		r.diverge("%s: %d values for %d vertices", where, len(obs.values), csr.N)
+		return
+	}
+	switch obs.problem {
+	case "SSNSP":
+		want := r.ssnspAt(obs.version, obs.source)
+		for x := range obs.values {
+			if obs.values[x] != want[0][x] {
+				r.diverge("%s: level[%d]=%d, oracle %d", where, x, obs.values[x], want[0][x])
+				return
+			}
+		}
+		for x := range obs.counts {
+			if obs.counts[x] != want[1][x] {
+				r.diverge("%s: count[%d]=%d, oracle %d", where, x, obs.counts[x], want[1][x])
+				return
+			}
+		}
+	case "CC":
+		want := r.ccAt(obs.version)
+		for x := range obs.values {
+			if obs.values[x] != want[x] {
+				r.diverge("%s: label[%d]=%d, oracle %d", where, x, obs.values[x], want[x])
+				return
+			}
+		}
+	case "PageRank":
+		want := r.prAt(obs.version)
+		for x := range obs.values {
+			got := math.Float64frombits(obs.values[x])
+			if math.Abs(got-want[x]) > prTolerance {
+				r.diverge("%s: rank[%d]=%g, oracle %g", where, x, got, want[x])
+				return
+			}
+		}
+	}
+}
+
+func (r *replayer) csrAt(ver uint64) *graph.CSR {
+	if c, ok := r.csrs[ver]; ok {
+		return c
+	}
+	snap, ok := r.snaps[ver]
+	if !ok {
+		return nil
+	}
+	c := snap.CSR(false)
+	r.csrs[ver] = c
+	return c
+}
+
+func (r *replayer) prAt(ver uint64) []float64 {
+	if v, ok := r.pr[ver]; ok {
+		return v
+	}
+	v := oracle.PageRank(r.csrAt(ver), 0.85, 100, 1e-9)
+	r.pr[ver] = v
+	return v
+}
+
+func (r *replayer) ccAt(ver uint64) []uint64 {
+	if v, ok := r.cc[ver]; ok {
+		return v
+	}
+	v := oracle.Components(r.csrAt(ver))
+	r.cc[ver] = v
+	return v
+}
+
+func (r *replayer) ssnspAt(ver uint64, src graph.VertexID) [2][]uint64 {
+	key := [2]uint64{ver, uint64(src)}
+	if v, ok := r.ssnsp[key]; ok {
+		return v
+	}
+	levels, counts := oracle.CountShortestPaths(r.csrAt(ver), src)
+	v := [2][]uint64{levels, counts}
+	r.ssnsp[key] = v
+	return v
+}

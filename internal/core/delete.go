@@ -46,6 +46,11 @@ func (s *System) ApplyDeletionsCtx(ctx context.Context, batch []graph.Edge) (Bat
 	if err := ctx.Err(); err != nil {
 		return BatchReport{}, &engine.CanceledError{Cause: err}
 	}
+	// Exclusive before DeleteEdges publishes: deletions make converged
+	// standing values potentially *too good*, so no reader may pair
+	// pre-recovery standing bounds with the post-deletion snapshot.
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
 	parent := s.cur
 	snap, changed := s.G.DeleteEdges(batch)
 	rep := BatchReport{
@@ -95,6 +100,7 @@ func (h *pageRankHandler) rebuild(g engine.View) engine.Stats {
 	start := time.Now()
 	res := props.PageRank(g, 0.85, 100, 1e-9)
 	h.ranks = res.Ranks
+	h.version = viewVersion(g)
 	h.last = time.Since(start)
 	return engine.Stats{Iterations: res.Iterations}
 }
@@ -103,6 +109,7 @@ func (h *ccHandler) rebuild(g engine.View) engine.Stats {
 	start := time.Now()
 	st, stats := props.ConnectedComponents(g)
 	h.st = st
+	h.version = viewVersion(g)
 	h.last = time.Since(start)
 	return stats
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"tripoline/internal/engine"
 	"tripoline/internal/graph"
 	"tripoline/internal/streamgraph"
 )
@@ -35,6 +36,34 @@ func (s *System) HistoryVersions() []uint64 {
 	return s.history.Versions()
 }
 
+// HistoryAt returns the retained snapshot with the given version, or
+// false when history is disabled or the version fell out of the window.
+// Callers that need the exact past graph (the differential checker's
+// oracle does) materialize a CSR from it.
+func (s *System) HistoryAt(version uint64) (*streamgraph.Snapshot, bool) {
+	if s.history == nil {
+		return nil, false
+	}
+	return s.history.AtVersion(version)
+}
+
+// pinHistorical returns the evaluation view for one historical query.
+// Old snapshots usually serve from the tree (advance retires a parent's
+// mirror as soon as the next version's is built), but the latest
+// retained version still owns its mirror; pinning it keeps the slabs
+// alive even if a batch or a history eviction retires the mirror while
+// the query is running. BuiltFlat never triggers a build — paying a full
+// O(V+E) mirror build for a one-off historical query would be wasted
+// work.
+func pinHistorical(snap *streamgraph.Snapshot, flatten bool) (engine.View, func()) {
+	if flatten {
+		if f := snap.BuiltFlat(); f != nil && f.Retain() {
+			return f, f.Release
+		}
+	}
+	return snap, releaseNoop
+}
+
 // QueryAt answers a user query against the retained snapshot with the
 // given version, via full evaluation.
 func (s *System) QueryAt(version uint64, problem string, u graph.VertexID) (*QueryResult, error) {
@@ -57,7 +86,22 @@ func (s *System) QueryAtCtx(ctx context.Context, version uint64, problem string,
 	if err != nil {
 		return nil, err
 	}
-	return h.queryFull(ctx, snap, u)
+	// The source must be in range *for the queried version*: the graph may
+	// have grown since, so checkSource (which looks at the latest
+	// snapshot) is not enough.
+	if n := snap.NumVertices(); int(u) >= n {
+		return nil, fmt.Errorf("core: source %d out of range (version %d has %d vertices): %w",
+			u, version, n, ErrSourceOutOfRange)
+	}
+	view, release := pinHistorical(snap, s.flatten)
+	defer release()
+	res, err := h.queryFull(ctx, view, u)
+	if err != nil {
+		return nil, err
+	}
+	res.Version = version
+	res.versionSet = true
+	return res, nil
 }
 
 // recordHistory is called after every graph mutation.

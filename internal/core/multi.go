@@ -28,6 +28,8 @@ type MultiResult struct {
 	Slots   []int
 	PropURs []uint64
 	Elapsed time.Duration
+	// Version is the snapshot version the batch evaluated against.
+	Version uint64
 }
 
 // Value returns query slot j's value at vertex x.
@@ -38,7 +40,7 @@ func (r *MultiResult) Value(x graph.VertexID, j int) uint64 {
 // multiQuerier is implemented by handlers whose problems support batched
 // user queries (the six simple triangle problems and custom problems).
 type multiQuerier interface {
-	queryMulti(ctx context.Context, g engine.View, sources []graph.VertexID) (*MultiResult, error)
+	queryMulti(ctx context.Context, s *System, sources []graph.VertexID) (*MultiResult, error)
 }
 
 // QueryMany evaluates up to 64 same-problem user queries in one batched
@@ -72,44 +74,50 @@ func (s *System) QueryManyCtx(ctx context.Context, problem string, sources []gra
 		}
 		s.observe(u)
 	}
-	view, release := s.pinView()
-	defer release()
-	return mq.queryMulti(ctx, view, sources)
+	return mq.queryMulti(ctx, s, sources)
 }
 
-func (h *simpleHandler) queryMulti(ctx context.Context, g engine.View, sources []graph.VertexID) (*MultiResult, error) {
+func (h *simpleHandler) queryMulti(ctx context.Context, s *System, sources []graph.VertexID) (*MultiResult, error) {
 	start := time.Now()
 	p := h.mgr.Problem
-	n := g.NumVertices()
 	w := len(sources)
 	res := &MultiResult{
 		Problem: p.Name(), Sources: sources, Width: w,
-		Values: make([]uint64, n*w),
-		Slots:  make([]int, w), PropURs: make([]uint64, w),
+		Slots: make([]int, w), PropURs: make([]uint64, w),
 	}
-	// Δ-initialize each slot from its own best standing root, laid out
-	// with stride w for coalesced access. Each column is an O(N) pass, so
-	// cancellation is honored between slots too.
-	for j, u := range sources {
-		if err := ctx.Err(); err != nil {
-			return nil, &engine.CanceledError{Cause: err}
+	var n int
+	view, release, err := s.pinShared(func(g engine.View) error {
+		n = g.NumVertices()
+		res.Values = make([]uint64, n*w)
+		// Δ-initialize each slot from its own best standing root, laid
+		// out with stride w for coalesced access. Each column is an O(N)
+		// pass, so cancellation is honored between slots too.
+		for j, u := range sources {
+			if err := ctx.Err(); err != nil {
+				return &engine.CanceledError{Cause: err}
+			}
+			slot, propUR := h.mgr.Select(u)
+			res.Slots[j], res.PropURs[j] = slot, propUR
+			col := triangle.DeltaInitStrided(p, u, propUR,
+				h.mgr.Forward.Values, h.mgr.Forward.K, slot, n)
+			for x := 0; x < n; x++ {
+				res.Values[x*w+j] = col[x]
+			}
 		}
-		slot, propUR := h.mgr.Select(u)
-		res.Slots[j], res.PropURs[j] = slot, propUR
-		col := triangle.DeltaInitStrided(p, u, propUR,
-			h.mgr.Forward.Values, h.mgr.Forward.K, slot, n)
-		for x := 0; x < n; x++ {
-			res.Values[x*w+j] = col[x]
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	defer release()
 	st := &engine.State{P: p, K: w, N: n, Values: res.Values}
 	seeds, masks := sourceSeeds(sources)
-	var err error
-	res.Stats, err = st.RunPushCtx(ctx, g, seeds, masks)
+	res.Stats, err = st.RunPushCtx(ctx, view, seeds, masks)
 	if err != nil {
 		return nil, err
 	}
 	res.Values = st.Values
+	res.Version = viewVersion(view)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

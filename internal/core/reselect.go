@@ -60,6 +60,10 @@ func (s *System) ReselectRoots(problem string) error {
 	}
 	snap := s.G.Acquire()
 	roots := standing.WeightedRoots(snap, s.hist, s.K)
+	// Re-rooting rewrites the standing arrays wholesale; exclude readers
+	// exactly like batch maintenance does.
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
 	r.reselect(s.viewOf(snap), roots)
 	return nil
 }

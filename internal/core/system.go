@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"tripoline/internal/engine"
@@ -61,6 +62,15 @@ type QueryResult struct {
 	// for incremental runs of the simple problems.
 	StandingSlot int
 	PropUR       uint64
+	// Version is the snapshot version the result is valid for: the pinned
+	// view's version for vertex-specific problems, the version the
+	// standing state last converged at for the whole-graph problems, and
+	// the requested version for QueryAt.
+	Version uint64
+	// versionSet marks handlers that stamped Version themselves (the
+	// whole-graph handlers answer from standing state, whose version can
+	// trail or lead the pinned view under concurrent writes).
+	versionSet bool
 }
 
 // BatchReport summarizes one applied update batch.
@@ -81,7 +91,10 @@ type BatchReport struct {
 type handler interface {
 	update(g engine.View, changed []graph.VertexID) engine.Stats
 	lastMaintain() time.Duration
-	queryDelta(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error)
+	// queryDelta answers a Δ-initialized query. It receives the System
+	// (not a pinned view) because pinning and Δ-initialization must
+	// happen atomically with respect to mutations — see pinShared.
+	queryDelta(ctx context.Context, s *System, u graph.VertexID) (*QueryResult, error)
 	queryFull(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error)
 }
 
@@ -107,6 +120,15 @@ type System struct {
 	// parent's and to retire the parent's slabs afterwards; query paths
 	// never read it.
 	cur *streamgraph.Snapshot
+	// stMu serializes standing-state access between the (single) writer
+	// and concurrent readers: mutations hold it exclusively across the
+	// publish + maintenance window, queries hold it shared only while
+	// Δ-initializing out of the standing arrays (never across an engine
+	// run, so reader parallelism is preserved). Taking the write lock
+	// *before* the graph mutation also keeps deletions sound: a reader can
+	// never pair pre-deletion standing bounds (possibly too good) with a
+	// post-deletion snapshot.
+	stMu sync.RWMutex
 }
 
 // NewSystem wraps a streaming graph. k is the number of standing queries
@@ -199,6 +221,38 @@ func (s *System) pinView() (engine.View, func()) {
 
 func releaseNoop() {}
 
+// pinShared pins an evaluation view whose version is consistent with the
+// standing state and runs initFn while the standing read lock is held:
+// under the shared lock no mutation is inside its publish+maintain
+// window (ApplyBatchCtx/ApplyDeletionsCtx hold the write lock across
+// both), so the latest snapshot and the standing arrays describe the
+// same version. Without this pairing a reader could pin a pre-insertion
+// snapshot and then Δ-initialize from post-insertion standing bounds —
+// bounds that are *too good* for the pinned view, which monotone
+// relaxation can never repair. initFn must copy whatever it needs out of
+// the standing state and must not run the engine; the caller runs the
+// engine on the returned (pinned) view after pinShared returns, outside
+// the lock, so reader parallelism is preserved.
+func (s *System) pinShared(initFn func(engine.View) error) (engine.View, func(), error) {
+	s.stMu.RLock()
+	defer s.stMu.RUnlock()
+	view, release := s.pinView()
+	if err := initFn(view); err != nil {
+		release()
+		return nil, nil, err
+	}
+	return view, release, nil
+}
+
+// viewVersion reports the snapshot version an evaluation view mirrors
+// (0 for unversioned views, which only occur in tests).
+func viewVersion(g engine.View) uint64 {
+	if v, ok := g.(engine.Versioned); ok {
+		return v.Version()
+	}
+	return 0
+}
+
 // TopDegreeRoots returns the top-k out-degree vertices of the snapshot —
 // the topology-based standing query selection (Eq. 14).
 func TopDegreeRoots(s *streamgraph.Snapshot, k int) []graph.VertexID {
@@ -239,15 +293,15 @@ func (s *System) Enable(name string) error {
 	switch name {
 	case "BFS", "SSSP", "SSWP", "SSNP", "Viterbi", "SSR":
 		p := props.Registry()[name]
-		h = &simpleHandler{mgr: standing.New(p, view, roots, s.G.Directed())}
+		h = &simpleHandler{mu: &s.stMu, mgr: standing.New(p, view, roots, s.G.Directed())}
 	case "Radii":
-		h = newRadiiHandler(view, roots, s.G.Directed())
+		h = newRadiiHandler(&s.stMu, view, roots, s.G.Directed())
 	case "SSNSP":
-		h = newSSNSPHandler(view, roots, s.G.Directed())
+		h = newSSNSPHandler(&s.stMu, view, roots, s.G.Directed())
 	case "PageRank":
-		h = newPageRankHandler(view)
+		h = newPageRankHandler(&s.stMu, view)
 	case "CC":
-		h = newCCHandler(view)
+		h = newCCHandler(&s.stMu, view)
 	default:
 		return fmt.Errorf("core: unknown problem %q: %w", name, ErrUnknownProblem)
 	}
@@ -272,7 +326,7 @@ func (s *System) EnableCustom(p engine.Problem) error {
 	}
 	snap := s.G.Acquire()
 	roots := TopDegreeRoots(snap, s.K)
-	s.handlers[name] = &simpleHandler{mgr: standing.New(p, s.viewOf(snap), roots, s.G.Directed())}
+	s.handlers[name] = &simpleHandler{mu: &s.stMu, mgr: standing.New(p, s.viewOf(snap), roots, s.G.Directed())}
 	s.order = append(s.order, name)
 	s.cur = snap
 	return nil
@@ -301,6 +355,11 @@ func (s *System) ApplyBatchCtx(ctx context.Context, batch []graph.Edge) (BatchRe
 	if err := ctx.Err(); err != nil {
 		return BatchReport{}, &engine.CanceledError{Cause: err}
 	}
+	// Exclusive from before the snapshot is published until maintenance
+	// finishes: no reader may Δ-initialize from standing state that is
+	// mid-rewrite or paired with the wrong version.
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
 	parent := s.cur
 	snap, changed := s.G.InsertEdges(batch)
 	rep := BatchReport{
@@ -366,9 +425,7 @@ func (s *System) QueryCtx(ctx context.Context, name string, u graph.VertexID) (*
 		return nil, err
 	}
 	s.observe(u)
-	view, release := s.pinView()
-	defer release()
-	return h.queryDelta(ctx, view, u)
+	return h.queryDelta(ctx, s, u)
 }
 
 // QueryFull answers a user query with a from-scratch (non-incremental)
@@ -388,13 +445,20 @@ func (s *System) QueryFullCtx(ctx context.Context, name string, u graph.VertexID
 	}
 	view, release := s.pinView()
 	defer release()
-	return h.queryFull(ctx, view, u)
+	res, err := h.queryFull(ctx, view, u)
+	if err != nil {
+		return nil, err
+	}
+	res.Version = viewVersion(view)
+	res.versionSet = true
+	return res, nil
 }
 
 // ---------------------------------------------------------------------
 // simple problems: BFS, SSSP, SSWP, SSNP, Viterbi, SSR
 
 type simpleHandler struct {
+	mu  *sync.RWMutex // the System's stMu; guards mgr's arrays
 	mgr *standing.Manager
 }
 
@@ -404,11 +468,23 @@ func (h *simpleHandler) update(g engine.View, changed []graph.VertexID) engine.S
 
 func (h *simpleHandler) lastMaintain() time.Duration { return h.mgr.LastMaintain }
 
-func (h *simpleHandler) queryDelta(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error) {
+func (h *simpleHandler) queryDelta(ctx context.Context, s *System, u graph.VertexID) (*QueryResult, error) {
 	start := time.Now()
-	init, slot, propUR := h.mgr.DeltaFor(u)
+	var (
+		init   []uint64
+		slot   int
+		propUR uint64
+	)
+	view, release, err := s.pinShared(func(engine.View) error {
+		init, slot, propUR = h.mgr.DeltaFor(u)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	st := &engine.State{P: h.mgr.Problem, K: 1, N: len(init), Values: init}
-	stats, err := st.RunPushCtx(ctx, g, []graph.VertexID{u}, []uint64{1})
+	stats, err := st.RunPushCtx(ctx, view, []graph.VertexID{u}, []uint64{1})
 	if err != nil {
 		return nil, err
 	}
@@ -417,6 +493,7 @@ func (h *simpleHandler) queryDelta(ctx context.Context, g engine.View, u graph.V
 		Values: st.Values, Width: 1,
 		Stats: stats, Elapsed: time.Since(start),
 		Incremental: true, StandingSlot: slot, PropUR: propUR,
+		Version: viewVersion(view), versionSet: true,
 	}, nil
 }
 
@@ -440,11 +517,12 @@ func (h *simpleHandler) queryFull(ctx context.Context, g engine.View, u graph.Ve
 // slot is Δ-initialized independently via the SSSP triangle.
 
 type radiiHandler struct {
+	mu  *sync.RWMutex
 	mgr *standing.Manager // SSSP standing queries reused per slot
 }
 
-func newRadiiHandler(g engine.View, roots []graph.VertexID, directed bool) *radiiHandler {
-	return &radiiHandler{mgr: standing.New(props.SSSP{}, g, roots, directed)}
+func newRadiiHandler(mu *sync.RWMutex, g engine.View, roots []graph.VertexID, directed bool) *radiiHandler {
+	return &radiiHandler{mu: mu, mgr: standing.New(props.SSSP{}, g, roots, directed)}
 }
 
 func (h *radiiHandler) update(g engine.View, changed []graph.VertexID) engine.Stats {
@@ -465,28 +543,40 @@ func radiiSources(u graph.VertexID, n int) []graph.VertexID {
 	return out
 }
 
-func (h *radiiHandler) queryDelta(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error) {
+func (h *radiiHandler) queryDelta(ctx context.Context, s *System, u graph.VertexID) (*QueryResult, error) {
 	start := time.Now()
-	n := g.NumVertices()
-	sources := radiiSources(u, n)
-	w := len(sources)
-	st := engine.NewState(props.SSSP{}, n, w)
-	// Δ-initialize each slot from its best standing root. Each column is
-	// an O(N) pass, so the 16-slot setup honors cancellation between
-	// slots as well as inside the engine run.
-	for j, src := range sources {
-		if err := ctx.Err(); err != nil {
-			return nil, &engine.CanceledError{Cause: err}
+	var (
+		st      *engine.State
+		sources []graph.VertexID
+		n, w    int
+	)
+	view, release, err := s.pinShared(func(g engine.View) error {
+		n = g.NumVertices()
+		sources = radiiSources(u, n)
+		w = len(sources)
+		st = engine.NewState(props.SSSP{}, n, w)
+		// Δ-initialize each slot from its best standing root. Each column
+		// is an O(N) pass, so the 16-slot setup honors cancellation
+		// between slots as well as inside the engine run.
+		for j, src := range sources {
+			if err := ctx.Err(); err != nil {
+				return &engine.CanceledError{Cause: err}
+			}
+			slot, propUR := h.mgr.Select(src)
+			col := triangle.DeltaInitStrided(props.SSSP{}, src, propUR,
+				h.mgr.Forward.Values, h.mgr.Forward.K, slot, n)
+			for x := 0; x < n; x++ {
+				st.Values[x*w+j] = col[x]
+			}
 		}
-		slot, propUR := h.mgr.Select(src)
-		col := triangle.DeltaInitStrided(props.SSSP{}, src, propUR,
-			h.mgr.Forward.Values, h.mgr.Forward.K, slot, n)
-		for x := 0; x < n; x++ {
-			st.Values[x*w+j] = col[x]
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	defer release()
 	seeds, masks := sourceSeeds(sources)
-	stats, err := st.RunPushCtx(ctx, g, seeds, masks)
+	stats, err := st.RunPushCtx(ctx, view, seeds, masks)
 	if err != nil {
 		return nil, err
 	}
@@ -496,6 +586,7 @@ func (h *radiiHandler) queryDelta(ctx context.Context, g engine.View, u graph.Ve
 		Radius: props.RadiiEstimate(st.Values, n, w),
 		Stats:  stats, Elapsed: time.Since(start),
 		Incremental: true,
+		Version:     viewVersion(view), versionSet: true,
 	}, nil
 }
 
@@ -539,14 +630,15 @@ func sourceSeeds(sources []graph.VertexID) ([]graph.VertexID, []uint64) {
 // the BFS triangle for the level round and recount exactly.
 
 type ssnspHandler struct {
+	mu     *sync.RWMutex
 	mgr    *standing.Manager // BFS levels
 	counts [][]uint64        // per-root counts, refreshed each update
 	last   time.Duration
 }
 
-func newSSNSPHandler(g engine.View, roots []graph.VertexID, directed bool) *ssnspHandler {
+func newSSNSPHandler(mu *sync.RWMutex, g engine.View, roots []graph.VertexID, directed bool) *ssnspHandler {
 	start := time.Now()
-	h := &ssnspHandler{mgr: standing.New(props.BFS{}, g, roots, directed)}
+	h := &ssnspHandler{mu: mu, mgr: standing.New(props.BFS{}, g, roots, directed)}
 	h.recount(g)
 	h.last = time.Since(start)
 	return h
@@ -578,11 +670,23 @@ func (h *ssnspHandler) update(g engine.View, changed []graph.VertexID) engine.St
 
 func (h *ssnspHandler) lastMaintain() time.Duration { return h.last }
 
-func (h *ssnspHandler) queryDelta(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error) {
+func (h *ssnspHandler) queryDelta(ctx context.Context, s *System, u graph.VertexID) (*QueryResult, error) {
 	start := time.Now()
-	init, slot, propUR := h.mgr.DeltaFor(u)
+	var (
+		init   []uint64
+		slot   int
+		propUR uint64
+	)
+	view, release, err := s.pinShared(func(engine.View) error {
+		init, slot, propUR = h.mgr.DeltaFor(u)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	initCopy := append([]uint64(nil), init...)
-	res, err := props.RunSSNSPDeltaCtx(ctx, g, u, init)
+	res, err := props.RunSSNSPDeltaCtx(ctx, view, u, init)
 	if err != nil {
 		return nil, err
 	}
@@ -595,6 +699,7 @@ func (h *ssnspHandler) queryDelta(ctx context.Context, g engine.View, u graph.Ve
 		Stats: stats, CountStats: res.CountStats,
 		Elapsed:     time.Since(start),
 		Incremental: true, StandingSlot: slot, PropUR: propUR,
+		Version: viewVersion(view), versionSet: true,
 	}, nil
 }
 
@@ -620,33 +725,42 @@ func (h *ssnspHandler) queryFull(ctx context.Context, g engine.View, u graph.Ver
 // standing state directly.
 
 type pageRankHandler struct {
-	ranks []float64
-	last  time.Duration
+	mu      *sync.RWMutex
+	ranks   []float64
+	version uint64 // snapshot version the ranks converged at
+	last    time.Duration
 }
 
-func newPageRankHandler(g engine.View) *pageRankHandler {
+func newPageRankHandler(mu *sync.RWMutex, g engine.View) *pageRankHandler {
 	start := time.Now()
 	res := props.PageRank(g, 0.85, 100, 1e-9)
-	return &pageRankHandler{ranks: res.Ranks, last: time.Since(start)}
+	return &pageRankHandler{mu: mu, ranks: res.Ranks, version: viewVersion(g), last: time.Since(start)}
 }
 
 func (h *pageRankHandler) update(g engine.View, _ []graph.VertexID) engine.Stats {
 	start := time.Now()
 	res := props.PageRankFrom(g, h.ranks, 0.85, 100, 1e-9)
 	h.ranks = res.Ranks
+	h.version = viewVersion(g)
 	h.last = time.Since(start)
 	return engine.Stats{Iterations: res.Iterations}
 }
 
 func (h *pageRankHandler) lastMaintain() time.Duration { return h.last }
 
-func (h *pageRankHandler) queryDelta(_ context.Context, _ engine.View, u graph.VertexID) (*QueryResult, error) {
-	// Answered instantly from the standing ranks — nothing to cancel.
+func (h *pageRankHandler) queryDelta(_ context.Context, _ *System, u graph.VertexID) (*QueryResult, error) {
+	// Answered instantly from the standing ranks — nothing to cancel. The
+	// reported version is the one the ranks last converged at, which can
+	// differ from the latest snapshot while a mutation is in flight.
+	h.mu.RLock()
 	vals := make([]uint64, len(h.ranks))
 	for i, r := range h.ranks {
 		vals[i] = floatBits(r)
 	}
-	return &QueryResult{Problem: "PageRank", Source: u, Values: vals, Width: 1, Incremental: true}, nil
+	v := h.version
+	h.mu.RUnlock()
+	return &QueryResult{Problem: "PageRank", Source: u, Values: vals, Width: 1, Incremental: true,
+		Version: v, versionSet: true}, nil
 }
 
 func (h *pageRankHandler) queryFull(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error) {
@@ -664,29 +778,37 @@ func (h *pageRankHandler) queryFull(ctx context.Context, g engine.View, u graph.
 }
 
 type ccHandler struct {
-	st   *engine.State
-	last time.Duration
+	mu      *sync.RWMutex
+	st      *engine.State
+	version uint64 // snapshot version the labels converged at
+	last    time.Duration
 }
 
-func newCCHandler(g engine.View) *ccHandler {
+func newCCHandler(mu *sync.RWMutex, g engine.View) *ccHandler {
 	start := time.Now()
 	st, _ := props.ConnectedComponents(g)
-	return &ccHandler{st: st, last: time.Since(start)}
+	return &ccHandler{mu: mu, st: st, version: viewVersion(g), last: time.Since(start)}
 }
 
 func (h *ccHandler) update(g engine.View, changed []graph.VertexID) engine.Stats {
 	start := time.Now()
 	stats := props.ResumeConnectedComponents(g, h.st, changed)
+	h.version = viewVersion(g)
 	h.last = time.Since(start)
 	return stats
 }
 
 func (h *ccHandler) lastMaintain() time.Duration { return h.last }
 
-func (h *ccHandler) queryDelta(_ context.Context, _ engine.View, u graph.VertexID) (*QueryResult, error) {
+func (h *ccHandler) queryDelta(_ context.Context, _ *System, u graph.VertexID) (*QueryResult, error) {
 	// Answered instantly from the standing labels — nothing to cancel.
+	// The version reported is the one the labels converged at.
+	h.mu.RLock()
 	vals := append([]uint64(nil), h.st.Values...)
-	return &QueryResult{Problem: "CC", Source: u, Values: vals, Width: 1, Incremental: true}, nil
+	v := h.version
+	h.mu.RUnlock()
+	return &QueryResult{Problem: "CC", Source: u, Values: vals, Width: 1, Incremental: true,
+		Version: v, versionSet: true}, nil
 }
 
 func (h *ccHandler) queryFull(ctx context.Context, g engine.View, u graph.VertexID) (*QueryResult, error) {

@@ -1,0 +1,83 @@
+package dd
+
+// The *other* DD: delta debugging. The differential checker
+// (internal/check) routes every divergence it finds through Minimize to
+// shrink the failing op schedule into a checked-in repro, so the two
+// meanings of the package name meet here — the dataflow above is what
+// the checker validates, the minimizer below is how its findings become
+// regression tests.
+
+// Minimize implements Zeller's ddmin algorithm: given a failing input
+// (fails(items) must be true) it returns a subsequence that still fails
+// and is 1-minimal — removing any one of the chunks it was reduced
+// through makes the failure disappear. fails must be deterministic; it
+// is called O(len(items)²) times in the worst case, typically far fewer.
+// The result preserves the relative order of items. When items does not
+// fail at all, it is returned unchanged.
+func Minimize[T any](items []T, fails func([]T) bool) []T {
+	cur := append([]T(nil), items...)
+	if len(cur) < 2 || !fails(cur) {
+		return cur
+	}
+	granularity := 2
+	for len(cur) >= 2 {
+		subsets := splitChunks(cur, granularity)
+		reduced := false
+		// Reduce to a single subset.
+		for _, sub := range subsets {
+			if fails(sub) {
+				cur = sub
+				granularity = 2
+				reduced = true
+				break
+			}
+		}
+		// Reduce to a complement (only meaningful past granularity 2,
+		// where complements are not themselves subsets).
+		if !reduced && granularity > 2 {
+			for i := range subsets {
+				comp := chunkComplement(subsets, i)
+				if fails(comp) {
+					cur = comp
+					granularity = max(granularity-1, 2)
+					reduced = true
+					break
+				}
+			}
+		}
+		if reduced {
+			continue
+		}
+		if granularity >= len(cur) {
+			break
+		}
+		granularity = min(2*granularity, len(cur))
+	}
+	return cur
+}
+
+// splitChunks partitions items into n contiguous chunks whose sizes
+// differ by at most one.
+func splitChunks[T any](items []T, n int) [][]T {
+	out := make([][]T, 0, n)
+	start := 0
+	for i := 0; i < n; i++ {
+		end := start + (len(items)-start)/(n-i)
+		if end > start {
+			out = append(out, items[start:end])
+		}
+		start = end
+	}
+	return out
+}
+
+// chunkComplement concatenates every chunk except the i-th.
+func chunkComplement[T any](chunks [][]T, i int) []T {
+	var out []T
+	for j, c := range chunks {
+		if j != i {
+			out = append(out, c...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package dd_test
+
+import (
+	"testing"
+
+	"tripoline/internal/dd"
+)
+
+// failsPair reports failure when both 3 and 7 survive in the input — a
+// classic two-element interaction that ddmin must isolate.
+func failsPair(in []int) bool {
+	has3, has7 := false, false
+	for _, v := range in {
+		has3 = has3 || v == 3
+		has7 = has7 || v == 7
+	}
+	return has3 && has7
+}
+
+func TestMinimizeIsolatesInteractingPair(t *testing.T) {
+	items := make([]int, 0, 40)
+	for i := 0; i < 40; i++ {
+		items = append(items, i)
+	}
+	got := dd.Minimize(items, failsPair)
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("minimized to %v, want [3 7]", got)
+	}
+}
+
+func TestMinimizeSingleCulprit(t *testing.T) {
+	items := []int{9, 1, 4, 13, 2, 8}
+	got := dd.Minimize(items, func(in []int) bool {
+		for _, v := range in {
+			if v == 13 {
+				return true
+			}
+		}
+		return false
+	})
+	if len(got) != 1 || got[0] != 13 {
+		t.Fatalf("minimized to %v, want [13]", got)
+	}
+}
+
+func TestMinimizePassingInputUnchanged(t *testing.T) {
+	items := []int{1, 2, 4}
+	got := dd.Minimize(items, failsPair)
+	if len(got) != 3 {
+		t.Fatalf("passing input was shrunk: %v", got)
+	}
+}
+
+// TestMinimizeOneMinimal checks the ddmin guarantee on a predicate whose
+// minimal failing sets are scattered: the result must fail, and removing
+// any single element must make it pass.
+func TestMinimizeOneMinimal(t *testing.T) {
+	// Fails when the surviving sum is at least 50.
+	fails := func(in []int) bool {
+		sum := 0
+		for _, v := range in {
+			sum += v
+		}
+		return sum >= 50
+	}
+	items := []int{5, 20, 1, 9, 30, 2, 17, 11, 6}
+	got := dd.Minimize(items, fails)
+	if !fails(got) {
+		t.Fatalf("minimized input %v does not fail", got)
+	}
+	for i := range got {
+		without := append(append([]int(nil), got[:i]...), got[i+1:]...)
+		if fails(without) {
+			t.Fatalf("result %v is not 1-minimal: still fails without element %d", got, got[i])
+		}
+	}
+}

@@ -103,8 +103,8 @@ func TestDenseSparseSwitchBothWays(t *testing.T) {
 // ForEachOut fallback path.
 type treeOnly struct{ g View }
 
-func (t treeOnly) NumVertices() int               { return t.g.NumVertices() }
-func (t treeOnly) Degree(v graph.VertexID) int    { return t.g.Degree(v) }
+func (t treeOnly) NumVertices() int            { return t.g.NumVertices() }
+func (t treeOnly) Degree(v graph.VertexID) int { return t.g.Degree(v) }
 func (t treeOnly) ForEachOut(v graph.VertexID, f func(graph.VertexID, graph.Weight)) {
 	t.g.ForEachOut(v, f)
 }
@@ -113,7 +113,7 @@ func TestFlatFastPathMatchesFallback(t *testing.T) {
 	const n, burst = 512, 128
 	g := burstGraph(n, burst)
 
-	flat, flatStats := runMinPlus(g, n)          // *graph.CSR is a FlatView
+	flat, flatStats := runMinPlus(g, n)           // *graph.CSR is a FlatView
 	tree, treeStats := runMinPlus(treeOnly{g}, n) // fallback path
 
 	// Work counters vary with scheduling, but the frontier progression is

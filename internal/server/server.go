@@ -319,14 +319,19 @@ type statsResponse struct {
 }
 
 type queryResponse struct {
-	Problem     string   `json:"problem"`
-	Source      uint32   `json:"source"`
-	Incremental bool     `json:"incremental"`
-	Seconds     float64  `json:"seconds"`
-	Activations int64    `json:"activations"`
-	Values      []uint64 `json:"values"`
-	Counts      []uint64 `json:"counts,omitempty"`
-	Radius      uint64   `json:"radius,omitempty"`
+	Problem     string  `json:"problem"`
+	Source      uint32  `json:"source"`
+	Incremental bool    `json:"incremental"`
+	Seconds     float64 `json:"seconds"`
+	Activations int64   `json:"activations"`
+	// Version is the snapshot version the result is valid for — under
+	// concurrent writes a client needs it to know *which* graph it got an
+	// answer about (and, with history enabled, to audit the answer via
+	// /query_at later).
+	Version uint64   `json:"version"`
+	Values  []uint64 `json:"values"`
+	Counts  []uint64 `json:"counts,omitempty"`
+	Radius  uint64   `json:"radius,omitempty"`
 }
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) int {
@@ -390,6 +395,7 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 		Incremental: res.Incremental,
 		Seconds:     res.Elapsed.Seconds(),
 		Activations: res.Stats.Activations,
+		Version:     res.Version,
 		Values:      res.Values,
 		Counts:      res.Counts,
 		Radius:      res.Radius,
@@ -422,6 +428,7 @@ func (s *Server) handleQueryAt(ctx context.Context, w http.ResponseWriter, r *ht
 		Incremental: res.Incremental,
 		Seconds:     res.Elapsed.Seconds(),
 		Activations: res.Stats.Activations,
+		Version:     res.Version,
 		Values:      res.Values,
 		Counts:      res.Counts,
 		Radius:      res.Radius,

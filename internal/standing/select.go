@@ -2,6 +2,7 @@ package standing
 
 import (
 	"sort"
+	"sync"
 
 	"tripoline/internal/engine"
 	"tripoline/internal/graph"
@@ -14,8 +15,11 @@ import (
 // serve the vertices users actually query rather than the graph at
 // large.
 
-// QueryHistogram counts observed user-query sources.
+// QueryHistogram counts observed user-query sources. It is safe for
+// concurrent use: queries from parallel readers all funnel through
+// Observe.
 type QueryHistogram struct {
+	mu     sync.Mutex
 	counts map[graph.VertexID]uint64
 	total  uint64
 }
@@ -27,12 +31,30 @@ func NewQueryHistogram() *QueryHistogram {
 
 // Observe records one user query rooted at u.
 func (h *QueryHistogram) Observe(u graph.VertexID) {
+	h.mu.Lock()
 	h.counts[u]++
 	h.total++
+	h.mu.Unlock()
 }
 
 // Total returns the number of observations.
-func (h *QueryHistogram) Total() uint64 { return h.total }
+func (h *QueryHistogram) Total() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// snapshot returns a consistent copy of the counts and total for the
+// scoring pass of WeightedRoots.
+func (h *QueryHistogram) snapshot() (map[graph.VertexID]uint64, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counts := make(map[graph.VertexID]uint64, len(h.counts))
+	for u, c := range h.counts {
+		counts[u] = c
+	}
+	return counts, h.total
+}
 
 // WeightedRoots selects k standing roots that balance topology (Eq. 14's
 // degree heuristic) against the observed query distribution: each
@@ -50,7 +72,12 @@ func WeightedRoots(g engine.View, h *QueryHistogram, k int) []graph.VertexID {
 	for v := 0; v < n; v++ {
 		score[v] = float64(g.Degree(graph.VertexID(v)))
 	}
-	if h != nil && h.total > 0 {
+	var counts map[graph.VertexID]uint64
+	var total uint64
+	if h != nil {
+		counts, total = h.snapshot()
+	}
+	if total > 0 {
 		// A root adjacent to (or identical with) frequently queried
 		// vertices yields small property(u, r) for those queries — the
 		// quantity Eq. 15 minimizes. Spread each queried vertex's mass
@@ -64,8 +91,8 @@ func WeightedRoots(g engine.View, h *QueryHistogram, k int) []graph.VertexID {
 			}
 			avgDeg = m / float64(n)
 		}
-		boost := 4 * avgDeg / float64(h.total)
-		for u, c := range h.counts {
+		boost := 4 * avgDeg / float64(total)
+		for u, c := range counts {
 			if int(u) >= n {
 				continue
 			}

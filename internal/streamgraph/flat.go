@@ -113,7 +113,7 @@ func (s *Snapshot) MaterializeFlat() *Flat { return buildFlat(s) }
 // builds a fresh mirror (delta-patched when the preconditions hold, full
 // otherwise) that the caller owns and must Release.
 func (s *Snapshot) MaterializeFlatFrom(prev *Flat, changed []graph.VertexID) *Flat {
-	if deltaPatchable(s, prev, changed) {
+	if deltaPatchable(s, prev, changed) && !s.fs().seam.forceFull.Load() {
 		return buildFlatFrom(s, prev, changed)
 	}
 	return buildFlat(s)
@@ -334,6 +334,9 @@ func buildFlatFrom(s *Snapshot, prev *Flat, changed []graph.VertexID) *Flat {
 	f := &Flat{off: off, adj: adj, wgt: wgt, n: n, version: s.version,
 		shared: sh, offs: offs, arcs: arcs}
 	f.refs.Store(1)
+	if sh.seam.skewDelta.Load() {
+		skewFlat(f, chg)
+	}
 	return f
 }
 
@@ -353,6 +356,9 @@ func mirrorBytes(m, n int64) int64 { return m*arcBytes + (n+1)*offEntryBytes }
 // reference is already gone (the mirror was retired and drained), in
 // which case the caller must re-acquire a current snapshot instead.
 func (f *Flat) Retain() bool {
+	if f.shared != nil && f.shared.seam.denyRetain.Load() {
+		return false
+	}
 	for {
 		old := f.refs.Load()
 		if old < 1 {

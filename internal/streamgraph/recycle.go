@@ -145,8 +145,9 @@ func RegisterMirrorMetrics(reg *metrics.Registry) *MirrorMetrics {
 // flatShared is the mirror-maintenance state shared by every snapshot
 // of one Graph: the slab recycler and the (swappable) instruments.
 type flatShared struct {
-	rec slabRecycler
-	met atomic.Pointer[MirrorMetrics]
+	rec  slabRecycler
+	met  atomic.Pointer[MirrorMetrics]
+	seam FaultSeam
 }
 
 func newFlatShared() *flatShared {

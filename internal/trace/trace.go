@@ -24,17 +24,19 @@ type Kind string
 
 // Event kinds.
 const (
-	KindBatch  Kind = "batch"
-	KindDelete Kind = "delete"
-	KindQuery  Kind = "query"
+	KindBatch   Kind = "batch"
+	KindDelete  Kind = "delete"
+	KindQuery   Kind = "query"
+	KindQueryAt Kind = "queryat"
 )
 
 // Event is one workload step.
 type Event struct {
 	Kind    Kind         `json:"kind"`
 	Edges   []graph.Edge `json:"edges,omitempty"`   // batch/delete
-	Problem string       `json:"problem,omitempty"` // query
-	Source  uint32       `json:"source,omitempty"`  // query
+	Problem string       `json:"problem,omitempty"` // query/queryat
+	Source  uint32       `json:"source,omitempty"`  // query/queryat
+	Version uint64       `json:"version,omitempty"` // queryat
 }
 
 // Trace is an ordered workload.
@@ -55,6 +57,13 @@ func (t *Trace) AddDelete(edges []graph.Edge) {
 // AddQuery appends a user query.
 func (t *Trace) AddQuery(problem string, source graph.VertexID) {
 	t.Events = append(t.Events, Event{Kind: KindQuery, Problem: problem, Source: uint32(source)})
+}
+
+// AddQueryAt appends a history query pinned to a specific version. The
+// replayed system must have history enabled (and still retain that
+// version) or the event counts as an error.
+func (t *Trace) AddQueryAt(problem string, source graph.VertexID, version uint64) {
+	t.Events = append(t.Events, Event{Kind: KindQueryAt, Problem: problem, Source: uint32(source), Version: version})
 }
 
 // Save serializes the trace as JSON.
@@ -154,6 +163,15 @@ func Replay(sys *core.System, t *Trace) Result {
 		case KindQuery:
 			start := time.Now()
 			if _, err := sys.Query(e.Problem, graph.VertexID(e.Source)); err != nil {
+				errors++
+				continue
+			}
+			d := time.Since(start)
+			queryLat = append(queryLat, d)
+			perQuery[e.Problem] = append(perQuery[e.Problem], d)
+		case KindQueryAt:
+			start := time.Now()
+			if _, err := sys.QueryAt(e.Version, e.Problem, graph.VertexID(e.Source)); err != nil {
 				errors++
 				continue
 			}

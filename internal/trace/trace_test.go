@@ -106,6 +106,73 @@ func TestReplayCountsErrors(t *testing.T) {
 	}
 }
 
+// TestReplayQueryAt exercises the history event kind: a trace can pin a
+// query to a version recorded before later batches, and replaying it
+// against a history-enabled system answers from that old graph. Without
+// history (or with an unretained version) the event counts as an error
+// instead of aborting the replay.
+func TestReplayQueryAt(t *testing.T) {
+	g := streamgraph.New(80, false)
+	g.InsertEdges(gen.Uniform(80, 300, 8, 303))
+	sys := newSystemWith(t, g, "BFS")
+	sys.EnableHistory(16)
+	before, err := sys.Query("BFS", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := &trace.Trace{}
+	tr.AddBatch([]graph.Edge{{Src: 0, Dst: 79, W: 1}})
+	tr.AddQueryAt("BFS", 0, before.Version)
+	res := trace.Replay(sys, tr)
+	if res.Errors != 0 {
+		t.Fatalf("errors=%d", res.Errors)
+	}
+	if res.Queries.Count != 1 || res.PerQuery["BFS"].Count != 1 {
+		t.Fatalf("queryat not counted as a query: %+v", res)
+	}
+	// The replayed history query really hit the pre-batch graph.
+	old, err := sys.QueryAt(before.Version, "BFS", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range before.Values {
+		if old.Values[v] != before.Values[v] {
+			t.Fatalf("historical value[%d]=%d, want pre-batch %d", v, old.Values[v], before.Values[v])
+		}
+	}
+
+	bad := &trace.Trace{}
+	bad.AddQueryAt("BFS", 0, 1<<40) // never retained
+	if got := trace.Replay(sys, bad).Errors; got != 1 {
+		t.Fatalf("unretained version: errors=%d, want 1", got)
+	}
+	noHist := newSystem(t)
+	if got := trace.Replay(noHist, bad).Errors; got != 1 {
+		t.Fatalf("history disabled: errors=%d, want 1", got)
+	}
+}
+
+// TestSaveLoadQueryAtVersion pins the JSON shape: the version field must
+// survive a round trip (it is the one field TestSaveLoadRoundTrip's
+// generic comparison does not cover).
+func TestSaveLoadQueryAtVersion(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.AddQueryAt("BFS", 7, 12345)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := back.Events[0]
+	if e.Kind != trace.KindQueryAt || e.Version != 12345 || e.Problem != "BFS" || e.Source != 7 {
+		t.Fatalf("round trip mangled queryat event: %+v", e)
+	}
+}
+
 // TestReplayQueryValuesCorrect verifies replay actually drives the real
 // system: after replaying, a direct query matches the expected state
 // (the trace's batches were applied).
