@@ -16,12 +16,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"tripoline/internal/bench"
 	"tripoline/internal/gen"
 )
+
+// commitID best-effort resolves the current git revision for the
+// dashboard JSON; empty when not running from a checkout.
+func commitID() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
 
 func main() {
 	var (
@@ -36,12 +48,28 @@ func main() {
 		batches  = flag.Int("batches", 1, "update batches applied per load point (paper: 5)")
 		probs    = flag.String("problems", "", "comma-separated problem subset (default: all eight)")
 		graphs   = flag.String("graphs", "", "comma-separated graph subset (default: all four)")
-		ablate   = flag.String("ablate", "", "comma-separated ablations to run (flat, deltaflat, batch, selection, dual)")
+		ablate   = flag.String("ablate", "", "comma-separated ablations to run (flat, deltaflat, batch, selection, dual, fusedK)")
+		logn     = flag.Int("logn", 16, "log2 vertex count for the fusedK kernel sweep")
+		kernJSON = flag.String("kerneljson", "BENCH_kernels.json", "dashboard-format output for the fusedK sweep (empty disables)")
 		seed     = flag.Uint64("seed", 0x7121, "experiment seed")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this file")
 		verify   = flag.Bool("verify", false, "run the cross-validation self-check instead of benchmarks")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *verify {
 		if bench.Verify(os.Stdout, *scale, max(4, *queries/4), *seed) != 0 {
@@ -161,8 +189,27 @@ func main() {
 						bench.AblationDualModel(os.Stdout, g, o.Scale, o.Seed)
 					}
 				})
+			case "fusedK", "fusedk":
+				run("ablation fusedK", func() {
+					cells := bench.AblationFusedK(os.Stdout, *logn, o.BatchSize, []int{1, 4, 16, 64}, o.Seed)
+					report.AddAblationFusedK(cells)
+					if *kernJSON == "" {
+						return
+					}
+					f, err := os.Create(*kernJSON)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "tripoline-bench:", err)
+						os.Exit(1)
+					}
+					defer f.Close()
+					if err := bench.WriteKernelBenchJSON(f, cells, commitID(), time.Now()); err != nil {
+						fmt.Fprintln(os.Stderr, "tripoline-bench:", err)
+						os.Exit(1)
+					}
+					fmt.Printf("wrote %s\n", *kernJSON)
+				})
 			default:
-				fmt.Fprintf(os.Stderr, "unknown ablation %q (want flat, deltaflat, batch, selection, dual)\n", a)
+				fmt.Fprintf(os.Stderr, "unknown ablation %q (want flat, deltaflat, batch, selection, dual, fusedK)\n", a)
 				os.Exit(2)
 			}
 		}

@@ -28,6 +28,25 @@ type Report struct {
 	Fig12             map[string][]Figure12Bucket `json:"figure12,omitempty"`
 	AblationFlat      []AblationFlatJSON          `json:"ablation_flat,omitempty"`
 	AblationDeltaFlat []AblationDeltaFlatJSON     `json:"ablation_deltaflat,omitempty"`
+	AblationFusedK    []AblationFusedKJSON        `json:"ablation_fusedk,omitempty"`
+}
+
+// AblationFusedKJSON flattens an AblationFusedKCell for serialization.
+type AblationFusedKJSON struct {
+	Graph            string  `json:"graph"`
+	LogN             int     `json:"logn"`
+	K                int     `json:"k"`
+	Batches          int     `json:"batches"`
+	EdgesApplied     int64   `json:"edges_applied"`
+	FusedRefreshSec  float64 `json:"fused_refresh_sec"`
+	LegacyRefreshSec float64 `json:"legacy_refresh_sec"`
+	FusedNsPerEdge   float64 `json:"fused_ns_per_edge"`
+	LegacyNsPerEdge  float64 `json:"legacy_ns_per_edge"`
+	Speedup          float64 `json:"speedup"`
+	Hoists           int64   `json:"hoists"`
+	GateSkips        int64   `json:"gate_skips"`
+	BlockSweeps      int64   `json:"block_sweeps"`
+	Verified         bool    `json:"verified"`
 }
 
 // AblationDeltaFlatJSON flattens an AblationDeltaFlatResult for
@@ -161,6 +180,23 @@ func (r *Report) AddAblationDeltaFlat(rs []AblationDeltaFlatResult) {
 			DeltaBuildSec: a.DeltaBuild.Seconds(), FullBuildSec: a.FullBuild.Seconds(),
 			Speedup: a.Speedup, CopiedBytes: a.CopiedBytes, WalkedBytes: a.WalkedBytes,
 			RecyclerHitRate: a.RecyclerHitRate,
+		})
+	}
+}
+
+// AddAblationFusedK records fused-kernel width-sweep points.
+func (r *Report) AddAblationFusedK(cells []AblationFusedKCell) {
+	for _, c := range cells {
+		r.AblationFusedK = append(r.AblationFusedK, AblationFusedKJSON{
+			Graph: c.Graph, LogN: c.LogN, K: c.K,
+			Batches: c.Batches, EdgesApplied: c.EdgesApplied,
+			FusedRefreshSec:  c.FusedRefresh.Seconds(),
+			LegacyRefreshSec: c.LegacyRefresh.Seconds(),
+			FusedNsPerEdge:   c.FusedNsPerEdge,
+			LegacyNsPerEdge:  c.LegacyNsPerEdge,
+			Speedup:          c.Speedup,
+			Hoists:           c.Hoists, GateSkips: c.GateSkips, BlockSweeps: c.BlockSweeps,
+			Verified: c.Verified,
 		})
 	}
 }

@@ -85,23 +85,28 @@ func (h *simpleHandler) queryMulti(ctx context.Context, s *System, sources []gra
 		Problem: p.Name(), Sources: sources, Width: w,
 		Slots: make([]int, w), PropURs: make([]uint64, w),
 	}
-	var n int
+	var st *engine.State
 	view, release, err := s.pinShared(func(g engine.View) error {
-		n = g.NumVertices()
-		res.Values = make([]uint64, n*w)
-		// Δ-initialize each slot from its own best standing root, laid
-		// out with stride w for coalesced access. Each column is an O(N)
-		// pass, so cancellation is honored between slots too.
+		n := g.NumVertices()
+		st = engine.NewState(p, n, w)
+		// Δ-initialize each slot from its own best standing root,
+		// directly into the state's storage — a zero-copy column view on
+		// contiguous layouts, a parallel strided write through StrideView
+		// otherwise (covers both the interleaved and the slot-blocked
+		// width-K layouts). Each slot is an O(N) parallel pass, so
+		// cancellation is honored between slots too.
 		for j, u := range sources {
 			if err := ctx.Err(); err != nil {
 				return &engine.CanceledError{Cause: err}
 			}
 			slot, propUR := h.mgr.Select(u)
 			res.Slots[j], res.PropURs[j] = slot, propUR
-			col := triangle.DeltaInitStrided(p, u, propUR,
-				h.mgr.Forward.Values, h.mgr.Forward.K, slot, n)
-			for x := 0; x < n; x++ {
-				res.Values[x*w+j] = col[x]
+			standing := h.mgr.StandingColumn(slot)
+			if dst, ok := st.ColumnView(j); ok {
+				triangle.DeltaInitInto(dst, p, u, propUR, standing)
+			} else {
+				arr, stride, off := st.StrideView(j)
+				triangle.DeltaInitStridedInto(arr, stride, off, p, u, propUR, standing)
 			}
 		}
 		return nil
@@ -110,13 +115,12 @@ func (h *simpleHandler) queryMulti(ctx context.Context, s *System, sources []gra
 		return nil, err
 	}
 	defer release()
-	st := &engine.State{P: p, K: w, N: n, Values: res.Values}
 	seeds, masks := sourceSeeds(sources)
 	res.Stats, err = st.RunPushCtx(ctx, view, seeds, masks)
 	if err != nil {
 		return nil, err
 	}
-	res.Values = st.Values
+	res.Values = st.Interleaved()
 	res.Version = viewVersion(view)
 	res.Elapsed = time.Since(start)
 	return res, nil

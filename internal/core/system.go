@@ -555,18 +555,22 @@ func (h *radiiHandler) queryDelta(ctx context.Context, s *System, u graph.Vertex
 		sources = radiiSources(u, n)
 		w = len(sources)
 		st = engine.NewState(props.SSSP{}, n, w)
-		// Δ-initialize each slot from its best standing root. Each column
-		// is an O(N) pass, so the 16-slot setup honors cancellation
-		// between slots as well as inside the engine run.
+		// Δ-initialize each slot from its best standing root, directly
+		// into the state's storage (zero-copy column views on contiguous
+		// layouts, parallel strided writes otherwise). Each slot is an
+		// O(N) pass, so the 16-slot setup honors cancellation between
+		// slots as well as inside the engine run.
 		for j, src := range sources {
 			if err := ctx.Err(); err != nil {
 				return &engine.CanceledError{Cause: err}
 			}
 			slot, propUR := h.mgr.Select(src)
-			col := triangle.DeltaInitStrided(props.SSSP{}, src, propUR,
-				h.mgr.Forward.Values, h.mgr.Forward.K, slot, n)
-			for x := 0; x < n; x++ {
-				st.Values[x*w+j] = col[x]
+			standing := h.mgr.StandingColumn(slot)
+			if dst, ok := st.ColumnView(j); ok {
+				triangle.DeltaInitInto(dst, props.SSSP{}, src, propUR, standing)
+			} else {
+				arr, stride, off := st.StrideView(j)
+				triangle.DeltaInitStridedInto(arr, stride, off, props.SSSP{}, src, propUR, standing)
 			}
 		}
 		return nil
@@ -580,10 +584,11 @@ func (h *radiiHandler) queryDelta(ctx context.Context, s *System, u graph.Vertex
 	if err != nil {
 		return nil, err
 	}
+	values := st.Interleaved()
 	return &QueryResult{
 		Problem: "Radii", Source: u,
-		Values: st.Values, Width: w,
-		Radius: props.RadiiEstimate(st.Values, n, w),
+		Values: values, Width: w,
+		Radius: props.RadiiEstimate(values, n, w),
 		Stats:  stats, Elapsed: time.Since(start),
 		Incremental: true,
 		Version:     viewVersion(view), versionSet: true,
@@ -598,10 +603,11 @@ func (h *radiiHandler) queryFull(ctx context.Context, g engine.View, u graph.Ver
 	if err != nil {
 		return nil, err
 	}
+	values := st.Interleaved()
 	return &QueryResult{
 		Problem: "Radii", Source: u,
-		Values: st.Values, Width: len(sources),
-		Radius: props.RadiiEstimate(st.Values, n, len(sources)),
+		Values: values, Width: len(sources),
+		Radius: props.RadiiEstimate(values, n, len(sources)),
 		Stats:  stats, Elapsed: time.Since(start),
 	}, nil
 }

@@ -9,6 +9,12 @@
 // precisely the monotonic, async-safe vertex-function contract that
 // Theorem 4.4 of the paper requires for Δ-based incremental evaluation to
 // be correct.
+//
+// Two kernel generations coexist (see kernel.go): the fused width-K
+// struct-of-arrays kernels (the default) and the original interleaved
+// kernels, kept verbatim as the reference implementation for the
+// `-ablate fusedK` comparison and the differential checker's
+// fused-vs-legacy replay. SetFusedKernels picks the generation.
 package engine
 
 import (
@@ -75,6 +81,16 @@ type FlatView interface {
 	OutSpan(v graph.VertexID) ([]graph.VertexID, []graph.Weight)
 }
 
+// ArcView is the further extension the cache-blocked dense sweep needs:
+// the whole CSR arc arrays at once. off has NumVertices()+1 entries and
+// v's arcs are adj[off[v]:off[v+1]] (destination-sorted, weights at the
+// same positions). The slices alias the graph and must not be modified.
+// *graph.CSR and *streamgraph.Flat satisfy it.
+type ArcView interface {
+	FlatView
+	Arcs() (off []int64, adj []graph.VertexID, wgt []graph.Weight)
+}
+
 // Versioned is optionally implemented by views that carry the snapshot
 // version they were materialized from (*streamgraph.Snapshot and
 // *streamgraph.Flat both do). Consumers use it to pair evaluation state
@@ -120,6 +136,19 @@ type Stats struct {
 	// DenseIterations counts the RunPush iterations that used the dense
 	// (whole-vertex-sweep) frontier representation.
 	DenseIterations int
+	// Hoists counts per-vertex source-block register loads performed by
+	// the fused push kernels: one per processed frontier vertex (per
+	// destination window when the dense sweep is cache-blocked). The
+	// legacy kernels never hoist, so the counter doubles as a "which
+	// kernel ran" witness.
+	Hoists int64
+	// GateSkips counts active (vertex, slot) pairs whose hoisted source
+	// value was still at the problem's gate (init) value, pruned from the
+	// edge loop before it started.
+	GateSkips int64
+	// BlockSweeps counts cache-blocked destination-window passes of the
+	// fused dense sweep (0 when the value working set fits the budget).
+	BlockSweeps int64
 }
 
 // Add accumulates other into s.
@@ -129,17 +158,67 @@ func (s *Stats) Add(other Stats) {
 	s.Updates += other.Updates
 	s.Iterations += other.Iterations
 	s.DenseIterations += other.DenseIterations
+	s.Hoists += other.Hoists
+	s.GateSkips += other.GateSkips
+	s.BlockSweeps += other.BlockSweeps
 }
 
+// fusedKernels selects the kernel generation for new states and K=1
+// runs: the fused width-K struct-of-arrays kernels (true, the default)
+// or the original interleaved kernels (false). Flipping it mid-run is
+// safe — both generations compute identical fixpoints — but a K>1
+// state keeps the value layout it was allocated with, and the layout,
+// not the flag, picks its kernel thereafter.
+var fusedKernels atomic.Bool
+
+func init() { fusedKernels.Store(true) }
+
+// SetFusedKernels toggles the fused SoA kernels and returns the previous
+// setting, so scoped callers (the fusedK ablation, the differential
+// checker's legacy replay, tests) can restore it.
+func SetFusedKernels(on bool) (prev bool) { return fusedKernels.Swap(on) }
+
+// FusedKernels reports whether new evaluations use the fused kernels.
+func FusedKernels() bool { return fusedKernels.Load() }
+
+// lineWords is one cache line in uint64s. It is both the SoA slot-block
+// width (8 slots per block, so one vertex's block is one cache line) and
+// the vertex-count padding granularity.
+const lineWords = 8
+
+func padVerts(n int) int { return (n + lineWords - 1) &^ (lineWords - 1) }
+
 // State is a K-wide evaluation state: for each vertex v and query slot
-// k < K, Values[v*K+k] is the encoded value of v under query k. State is
+// k < K, Value(v, k) is the encoded value of v under query k. State is
 // the persistent artifact of standing queries: it survives across graph
 // updates and is resumed incrementally.
+//
+// Storage has two layouts. K=1 states (and K>1 states built while the
+// fused kernels are off, or assembled as literals by callers) keep the
+// original interleaved array in Values. K>1 states allocated by NewState
+// under the fused kernels use a slot-blocked column-block layout
+// instead: slots are grouped into blocks of lineWords (8), and within a
+// block the storage is vertex-major — one vertex's 8 slot values occupy
+// one cache line. A width-64 hoist or multi-slot relaxation therefore
+// touches 8 consecutive lines instead of 64 lines scattered one per
+// 8·padN-byte column, which is what makes the width-K kernels win once
+// the value arrays outgrow the last-level cache. The accessors below
+// work on either layout; the layout decides which kernel generation an
+// evaluation runs (see RunPushCtx).
 type State struct {
-	P      Problem
-	K      int
-	N      int
-	Values []uint64 // len N*K, stride K
+	P Problem
+	K int
+	N int
+	// Values is the interleaved value array (len N*K, stride K:
+	// Values[v*K+k]). nil on SoA states — use the accessors, or
+	// Interleaved for a stride-K materialization.
+	Values []uint64
+	// cols is the slot-blocked storage: ceil(K/8) blocks of padN·8 words,
+	// slot k's value of vertex v at
+	// cols[(k/8)·padN·8 + v·8 + k%8]. Slots K..ceil(K/8)·8-1 are padding
+	// lanes pinned at the init value. nil on interleaved states.
+	cols []uint64
+	padN int
 }
 
 // NewState allocates a state with every value at the problem's init value.
@@ -147,45 +226,150 @@ func NewState(p Problem, n, k int) *State {
 	if k < 1 || k > 64 {
 		panic("engine: K must be in [1,64]")
 	}
-	st := &State{P: p, K: k, N: n, Values: make([]uint64, n*k)}
+	st := &State{P: p, K: k, N: n}
 	init := p.InitValue()
+	if k > 1 && fusedKernels.Load() {
+		st.padN = padVerts(n)
+		blocks := (k + lineWords - 1) / lineWords
+		st.cols = make([]uint64, blocks*st.padN*lineWords)
+		parallel.For(len(st.cols), func(i int) { st.cols[i] = init })
+		return st
+	}
+	st.Values = make([]uint64, n*k)
 	parallel.For(n*k, func(i int) { st.Values[i] = init })
 	return st
 }
 
+// SoA reports whether the state stores its values column-major (the
+// fused width-K layout).
+func (st *State) SoA() bool { return st.cols != nil }
+
+// slotOff returns slot k's base offset in the slot-blocked slab: the
+// value of (v, k) lives at cols[slotOff(k) + v·lineWords].
+func (st *State) slotOff(k int) int {
+	return (k/lineWords)*st.padN*lineWords + k%lineWords
+}
+
 // Value returns the value of vertex v under query slot k.
 func (st *State) Value(v graph.VertexID, k int) uint64 {
+	if st.cols != nil {
+		return st.cols[st.slotOff(k)+int(v)*lineWords]
+	}
 	return st.Values[int(v)*st.K+k]
+}
+
+// SetValue stores the value of vertex v under query slot k. It is a
+// quiescent-phase accessor (initialization, repair sweeps) — concurrent
+// use against a running kernel needs the kernels' atomics instead.
+func (st *State) SetValue(v graph.VertexID, k int, val uint64) {
+	if st.cols != nil {
+		st.cols[st.slotOff(k)+int(v)*lineWords] = val
+		return
+	}
+	st.Values[int(v)*st.K+k] = val
 }
 
 // SetSource initializes slot k's source vertex.
 func (st *State) SetSource(v graph.VertexID, k int) {
-	st.Values[int(v)*st.K+k] = st.P.SourceValue()
+	st.SetValue(v, k, st.P.SourceValue())
 }
 
 // Column copies slot k's values into a fresh []uint64 of length N.
 func (st *State) Column(k int) []uint64 {
 	out := make([]uint64, st.N)
+	if st.cols != nil {
+		base, cols := st.slotOff(k), st.cols
+		parallel.ForGrain(st.N, 1024, func(v int) { out[v] = cols[base+v*lineWords] })
+		return out
+	}
 	parallel.For(st.N, func(v int) { out[v] = st.Values[v*st.K+k] })
+	return out
+}
+
+// ColumnView returns slot k's values as a zero-copy view when the
+// layout stores the column contiguously — only K=1 states qualify (both
+// the slot-blocked and the interleaved K>1 layouts stride their
+// columns). The view aliases the state. On ok=false, callers fall back
+// to Column (a copy) or StrideView (zero-copy strided access).
+func (st *State) ColumnView(k int) (col []uint64, ok bool) {
+	if st.cols == nil && st.K == 1 {
+		return st.Values[:st.N], true
+	}
+	return nil, false
+}
+
+// StrideView returns slot k's values as a zero-copy strided view valid
+// on every layout: the value of (v, k) is arr[v*stride+off]. The view
+// aliases the state; (arr, stride, off) feed triangle's strided
+// Δ-initialization directly. Interleaved states return (Values, K, k);
+// slot-blocked states return the slab with the cache-line stride.
+func (st *State) StrideView(k int) (arr []uint64, stride, off int) {
+	if st.cols != nil {
+		return st.cols, lineWords, st.slotOff(k)
+	}
+	return st.Values, st.K, k
+}
+
+// Interleaved materializes the stride-K interleaved array
+// (out[v*K+k] = Value(v,k)) — the wire format of batched query results.
+// Interleaved states return Values itself (no copy); SoA states gather.
+func (st *State) Interleaved() []uint64 {
+	if st.cols == nil {
+		return st.Values
+	}
+	K, cols := st.K, st.cols
+	soff := make([]int, K)
+	for k := range soff {
+		soff[k] = st.slotOff(k)
+	}
+	out := make([]uint64, st.N*K)
+	parallel.ForGrain(st.N, 256, func(v int) {
+		vb := v * lineWords
+		for k := 0; k < K; k++ {
+			out[v*K+k] = cols[soff[k]+vb]
+		}
+	})
 	return out
 }
 
 // Clone returns a deep copy of the state (used to snapshot standing-query
 // results before speculative work).
 func (st *State) Clone() *State {
-	out := &State{P: st.P, K: st.K, N: st.N, Values: make([]uint64, len(st.Values))}
-	copy(out.Values, st.Values)
+	out := &State{P: st.P, K: st.K, N: st.N, padN: st.padN}
+	if st.Values != nil {
+		out.Values = append([]uint64(nil), st.Values...)
+	}
+	if st.cols != nil {
+		out.cols = append([]uint64(nil), st.cols...)
+	}
 	return out
 }
 
-// Grow extends the state to n vertices (new vertices at init value).
+// Grow extends the state to n vertices (new vertices at init value),
+// preserving the layout.
 func (st *State) Grow(n int) {
 	if n <= st.N {
 		return
 	}
+	init := st.P.InitValue()
+	if st.cols != nil {
+		padN := padVerts(n)
+		blocks := (st.K + lineWords - 1) / lineWords
+		oldBS, newBS := st.padN*lineWords, padN*lineWords
+		cols := make([]uint64, blocks*newBS)
+		for b := 0; b < blocks; b++ {
+			copy(cols[b*newBS:], st.cols[b*oldBS:b*oldBS+st.N*lineWords])
+			for i := b*newBS + st.N*lineWords; i < (b+1)*newBS; i++ {
+				cols[i] = init
+			}
+		}
+		st.cols = cols
+		st.padN = padN
+		st.N = n
+		return
+	}
 	vals := make([]uint64, n*st.K)
 	copy(vals, st.Values)
-	init := st.P.InitValue()
 	for i := st.N * st.K; i < len(vals); i++ {
 		vals[i] = init
 	}
@@ -216,8 +400,9 @@ var onIteration func(dense bool)
 // the hot loop needs no atomic adds; the pad keeps neighboring workers'
 // slots on separate cache lines.
 type workCounter struct {
-	acts, relax, upd int64
-	_                [5]int64
+	acts, relax, upd     int64
+	hoists, gates, sweep int64
+	_                    [2]int64
 }
 
 // pushScratch is the O(N) working state of one RunPush evaluation,
@@ -227,6 +412,11 @@ type workCounter struct {
 type pushScratch struct {
 	masks, next []uint64
 	inNext      *bitset.Atomic
+	// cursors backs the cache-blocked dense sweep's per-vertex arc
+	// positions. Allocated lazily (only width-K runs over an ArcView use
+	// it) and never needs draining: each blocked iteration re-seeds it
+	// from the arc offsets before reading it.
+	cursors []int64
 }
 
 var pushScratchPool sync.Pool
@@ -273,6 +463,13 @@ func (st *State) RunPush(g View, seeds []graph.VertexID, seedMasks []uint64) Sta
 // sound, monotonically-reached bound, just not yet the converged result,
 // so a canceled user query never corrupts anything — the state belongs to
 // the query and is simply discarded.
+//
+// Kernel selection: SoA states always run the fused width-K kernel
+// (hoisted source blocks, devirtualized relaxations, cache-blocked dense
+// sweeps over an ArcView); interleaved K>1 states always run the legacy
+// kernel; K=1 states run whichever generation SetFusedKernels selects —
+// their layout is identical either way. All generations compute
+// bit-identical values.
 func (st *State) RunPushCtx(ctx context.Context, g View, seeds []graph.VertexID, seedMasks []uint64) (Stats, error) {
 	n := g.NumVertices()
 	if n > st.N {
@@ -299,15 +496,123 @@ func (st *State) RunPushCtx(ctx context.Context, g View, seeds []graph.VertexID,
 	K := st.K
 	p := st.P
 	counters := make([]workCounter, parallel.MaxWorkers())
-	// process runs the vertex function for every active query slot of u
-	// and clears u's frontier mask (each u is processed at most once per
-	// iteration, and the owner is the only reader of its mask).
-	process := func(c *workCounter, u graph.VertexID) {
-		mask := cur.masks[u]
+
+	// Pick the kernel for this run (see the doc comment above).
+	var process func(c *workCounter, u graph.VertexID)
+	var kc *pushKCtx // non-nil selects the width-K SoA kernel
+	switch {
+	case st.cols != nil:
+		kc = &pushKCtx{
+			g: g, fv: fv, p: p,
+			K: K, cols: st.cols, soff: make([]int, K),
+			curMasks: cur.masks, nextMasks: nextMasks, inNext: inNext,
+		}
+		for k := range kc.soff {
+			kc.soff[k] = st.slotOff(k)
+		}
+		kc.spec, kc.hasSpec = kernelSpecFor(p)
+		if av, ok := g.(ArcView); ok && blockWindows(K, n) > 1 {
+			kc.av = av
+			kc.windows = blockWindows(K, n)
+		}
+		process = kc.process
+	case K == 1 && fusedKernels.Load():
+		k1 := &push1Ctx{
+			g: g, fv: fv, p: p, vals: st.Values,
+			curMasks: cur.masks, nextMasks: nextMasks, inNext: inNext,
+		}
+		k1.spec, k1.hasSpec = kernelSpecFor(p)
+		process = k1.process
+	default:
+		process = st.legacyProcess(g, fv, cur.masks, nextMasks, inNext)
+	}
+
+	var canceled error
+	dense := false
+	active := len(cur.verts)
+	for active > 0 {
+		if err := ctx.Err(); err != nil {
+			canceled = &CanceledError{Iterations: stats.Iterations, Cause: err}
+			break
+		}
+		stats.Iterations++
+		if onIteration != nil {
+			onIteration(dense)
+		}
+		if dense {
+			stats.DenseIterations++
+			if kc != nil && kc.av != nil {
+				if cap(scr.cursors) < n {
+					scr.cursors = make([]int64, n)
+				}
+				kc.denseWindowed(counters, n, scr.cursors[:n])
+			} else {
+				parallel.ForRangeID(n, 128, func(wid, start, end int) {
+					c := &counters[wid]
+					for v := start; v < end; v++ {
+						process(c, graph.VertexID(v))
+					}
+				})
+			}
+		} else {
+			parallel.ForRangeID(len(cur.verts), 64, func(wid, start, end int) {
+				c := &counters[wid]
+				for i := start; i < end; i++ {
+					process(c, cur.verts[i])
+				}
+			})
+		}
+		// Swap frontiers. Above the density threshold the next round
+		// sweeps masks directly; below it, materialize the sparse list.
+		cur.verts = cur.verts[:0]
+		count := inNext.Count()
+		dense = count*denseFraction > n
+		if dense {
+			inNext.ForEach(func(v int) {
+				cur.masks[v] = atomic.LoadUint64(&nextMasks[v])
+				atomic.StoreUint64(&nextMasks[v], 0)
+			})
+		} else {
+			inNext.ForEach(func(v int) {
+				cur.verts = append(cur.verts, graph.VertexID(v))
+				cur.masks[v] = atomic.LoadUint64(&nextMasks[v])
+				atomic.StoreUint64(&nextMasks[v], 0)
+			})
+		}
+		inNext.Reset()
+		active = count
+	}
+	for i := range counters {
+		stats.Activations += counters[i].acts
+		stats.Relaxations += counters[i].relax
+		stats.Updates += counters[i].upd
+		stats.Hoists += counters[i].hoists
+		stats.GateSkips += counters[i].gates
+		stats.BlockSweeps += counters[i].sweep
+	}
+	// The pool invariant is that scratch is handed back drained. A
+	// canceled run abandons a live frontier (masks set at positions no
+	// cheap sweep can enumerate in dense mode), so its scratch is dropped
+	// rather than drained — cancellations are rare enough that losing the
+	// buffers costs nothing.
+	if canceled == nil {
+		putPushScratch(scr)
+	}
+	return stats, canceled
+}
+
+// legacyProcess is the original interleaved push vertex function, kept
+// verbatim as the reference kernel: one atomic source load and one
+// interface-dispatched Relax per (edge × active slot).
+func (st *State) legacyProcess(g View, fv FlatView, curMasks, nextMasks []uint64, inNext *bitset.Atomic) func(c *workCounter, u graph.VertexID) {
+	K := st.K
+	p := st.P
+	return func(c *workCounter, u graph.VertexID) {
+		mask := curMasks[u]
 		if mask == 0 {
 			return
 		}
-		cur.masks[u] = 0
+		curMasks[u] = 0
 		c.acts += int64(bits.OnesCount64(mask))
 		base := int(u) * K
 		var r, w int64
@@ -352,69 +657,6 @@ func (st *State) RunPushCtx(ctx context.Context, g View, seeds []graph.VertexID,
 		c.relax += r
 		c.upd += w
 	}
-
-	var canceled error
-	dense := false
-	active := len(cur.verts)
-	for active > 0 {
-		if err := ctx.Err(); err != nil {
-			canceled = &CanceledError{Iterations: stats.Iterations, Cause: err}
-			break
-		}
-		stats.Iterations++
-		if onIteration != nil {
-			onIteration(dense)
-		}
-		if dense {
-			stats.DenseIterations++
-			parallel.ForRangeID(n, 128, func(wid, start, end int) {
-				c := &counters[wid]
-				for v := start; v < end; v++ {
-					process(c, graph.VertexID(v))
-				}
-			})
-		} else {
-			parallel.ForRangeID(len(cur.verts), 64, func(wid, start, end int) {
-				c := &counters[wid]
-				for i := start; i < end; i++ {
-					process(c, cur.verts[i])
-				}
-			})
-		}
-		// Swap frontiers. Above the density threshold the next round
-		// sweeps masks directly; below it, materialize the sparse list.
-		cur.verts = cur.verts[:0]
-		count := inNext.Count()
-		dense = count*denseFraction > n
-		if dense {
-			inNext.ForEach(func(v int) {
-				cur.masks[v] = atomic.LoadUint64(&nextMasks[v])
-				atomic.StoreUint64(&nextMasks[v], 0)
-			})
-		} else {
-			inNext.ForEach(func(v int) {
-				cur.verts = append(cur.verts, graph.VertexID(v))
-				cur.masks[v] = atomic.LoadUint64(&nextMasks[v])
-				atomic.StoreUint64(&nextMasks[v], 0)
-			})
-		}
-		inNext.Reset()
-		active = count
-	}
-	for i := range counters {
-		stats.Activations += counters[i].acts
-		stats.Relaxations += counters[i].relax
-		stats.Updates += counters[i].upd
-	}
-	// The pool invariant is that scratch is handed back drained. A
-	// canceled run abandons a live frontier (masks set at positions no
-	// cheap sweep can enumerate in dense mode), so its scratch is dropped
-	// rather than drained — cancellations are rare enough that losing the
-	// buffers costs nothing.
-	if canceled == nil {
-		putPushScratch(scr)
-	}
-	return stats, canceled
 }
 
 // markActive atomically ors query bit k into v's next-frontier mask and
@@ -465,7 +707,21 @@ func (st *State) RunPull(g View, stats *Stats) {
 // RunPullCtx is RunPull with cooperative cancellation, checked once per
 // dense round. On cancellation it returns a *CanceledError; the state
 // holds the partially-improved (still sound, not converged) values.
+//
+// Kernel selection mirrors RunPushCtx: SoA states run the fused pull
+// (owner-exclusive register accumulation, no CAS — each vertex writes
+// only its own block); interleaved K>1 states run the legacy pull; K=1
+// follows SetFusedKernels.
 func (st *State) RunPullCtx(ctx context.Context, g View, stats *Stats) error {
+	if st.cols != nil || (st.K == 1 && fusedKernels.Load()) {
+		return st.runPullFused(ctx, g, stats)
+	}
+	return st.runPullLegacy(ctx, g, stats)
+}
+
+// runPullLegacy is the original interleaved pull kernel, kept verbatim
+// as the reference implementation.
+func (st *State) runPullLegacy(ctx context.Context, g View, stats *Stats) error {
 	n := g.NumVertices()
 	if n > st.N {
 		st.Grow(n)

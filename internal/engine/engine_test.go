@@ -157,31 +157,65 @@ func TestRunOnSnapshotMatchesCSR(t *testing.T) {
 }
 
 func TestStateGrow(t *testing.T) {
-	st := engine.NewState(props.SSSP{}, 4, 2)
-	st.SetSource(1, 0)
-	st.Grow(10)
-	if st.N != 10 || len(st.Values) != 20 {
-		t.Fatalf("grow: N=%d len=%d", st.N, len(st.Values))
-	}
-	if st.Value(1, 0) != 0 {
-		t.Fatal("grow lost source value")
-	}
-	if st.Value(9, 1) != props.Unreached {
-		t.Fatal("grown slots not at init value")
+	// Both layouts: the SoA state NewState builds with fused kernels on,
+	// and the interleaved one it builds with them off.
+	for _, fused := range []bool{true, false} {
+		prev := engine.SetFusedKernels(fused)
+		st := engine.NewState(props.SSSP{}, 4, 2)
+		engine.SetFusedKernels(prev)
+		if st.SoA() != fused {
+			t.Fatalf("fused=%v: SoA=%v", fused, st.SoA())
+		}
+		st.SetSource(1, 0)
+		st.Grow(10)
+		if st.N != 10 {
+			t.Fatalf("fused=%v grow: N=%d", fused, st.N)
+		}
+		if st.Value(1, 0) != 0 {
+			t.Fatalf("fused=%v: grow lost source value", fused)
+		}
+		if st.Value(9, 1) != props.Unreached {
+			t.Fatalf("fused=%v: grown slots not at init value", fused)
+		}
 	}
 }
 
 func TestStateColumnAndClone(t *testing.T) {
-	st := engine.NewState(props.BFS{}, 3, 2)
-	st.Values = []uint64{0, 1, 2, 3, 4, 5}
-	col := st.Column(1)
-	if col[0] != 1 || col[1] != 3 || col[2] != 5 {
-		t.Fatalf("column = %v", col)
-	}
-	cl := st.Clone()
-	cl.Values[0] = 99
-	if st.Values[0] == 99 {
-		t.Fatal("clone aliases original")
+	for _, fused := range []bool{true, false} {
+		prev := engine.SetFusedKernels(fused)
+		st := engine.NewState(props.BFS{}, 3, 2)
+		engine.SetFusedKernels(prev)
+		for v := 0; v < 3; v++ {
+			st.SetValue(graph.VertexID(v), 0, uint64(2*v))
+			st.SetValue(graph.VertexID(v), 1, uint64(2*v+1))
+		}
+		col := st.Column(1)
+		if col[0] != 1 || col[1] != 3 || col[2] != 5 {
+			t.Fatalf("fused=%v: column = %v", fused, col)
+		}
+		if view, ok := st.ColumnView(1); ok {
+			if view[0] != 1 || view[1] != 3 || view[2] != 5 {
+				t.Fatalf("fused=%v: column view = %v", fused, view)
+			}
+		}
+		// StrideView must address every layout: value(v,k) = arr[v*stride+off].
+		arr, stride, off := st.StrideView(1)
+		for v := 0; v < 3; v++ {
+			if got := arr[v*stride+off]; got != uint64(2*v+1) {
+				t.Fatalf("fused=%v: StrideView(1)[%d] = %d", fused, v, got)
+			}
+		}
+		inter := st.Interleaved()
+		for i := uint64(0); i < 6; i++ {
+			if inter[i] != i {
+				t.Fatalf("fused=%v: interleaved = %v", fused, inter)
+			}
+		}
+		cl := st.Clone()
+		cl.SetValue(0, 0, 99)
+		if st.Value(0, 0) == 99 {
+			t.Fatalf("fused=%v: clone aliases original", fused)
+		}
 	}
 }
 

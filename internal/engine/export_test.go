@@ -1,0 +1,9 @@
+package engine
+
+// Test-only re-exports so the external engine_test package (which can
+// import props — the package itself cannot) can pin the frontier
+// representation and force multi-window cache-blocked sweeps.
+var (
+	DenseFractionForTest = &denseFraction
+	WindowBudgetForTest  = &windowBudget
+)

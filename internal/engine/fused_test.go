@@ -1,0 +1,195 @@
+package engine_test
+
+import (
+	"testing"
+
+	"tripoline/internal/engine"
+	"tripoline/internal/graph"
+	"tripoline/internal/props"
+	"tripoline/internal/xrand"
+)
+
+// forestView wraps a View hiding OutSpan/Arcs, forcing the engine's
+// ForEachOut fallback (the tree path of the delta-patched mirror).
+type forestView struct{ g engine.View }
+
+func (t forestView) NumVertices() int            { return t.g.NumVertices() }
+func (t forestView) Degree(v graph.VertexID) int { return t.g.Degree(v) }
+func (t forestView) ForEachOut(v graph.VertexID, f func(graph.VertexID, graph.Weight)) {
+	t.g.ForEachOut(v, f)
+}
+
+func pickSources(n, k int, rng *xrand.RNG) []graph.VertexID {
+	sources := make([]graph.VertexID, k)
+	for i := range sources {
+		sources[i] = graph.VertexID(rng.Intn(n))
+	}
+	return sources
+}
+
+// requireSameValues compares two states element-wise through the
+// layout-independent accessor. The relaxation lattice has a unique
+// fixpoint, so the comparison is exact regardless of kernel generation.
+func requireSameValues(t *testing.T, label string, a, b *engine.State, n, k int) {
+	t.Helper()
+	for v := 0; v < n; v++ {
+		for j := 0; j < k; j++ {
+			av, bv := a.Value(graph.VertexID(v), j), b.Value(graph.VertexID(v), j)
+			if av != bv {
+				t.Fatalf("%s: value(%d,%d) %#x vs %#x", label, v, j, av, bv)
+			}
+		}
+	}
+}
+
+// TestFusedWidthSweepEquivalence is the tentpole's correctness spine:
+// for every registered problem and K ∈ {1,4,16,64}, the fused width-K
+// kernel must be bit-identical to (a) the legacy interleaved kernel on
+// the same batch, (b) K independent K=1 evaluations, and (c) the fused
+// kernel running on a view with no flat fast path. Push and pull both.
+func TestFusedWidthSweepEquivalence(t *testing.T) {
+	const n, m = 300, 3000
+	g := randomCSR(n, m, true, 61)
+	widths := []int{1, 4, 16, 64}
+	if testing.Short() {
+		widths = []int{1, 4, 64}
+	}
+	rng := xrand.New(67)
+	for name, p := range props.Registry() {
+		for _, k := range widths {
+			sources := pickSources(n, k, rng)
+
+			fused, _ := engine.Run(g, p, sources)
+			if k > 1 && !fused.SoA() {
+				t.Fatalf("%s K=%d: fused run did not pick the SoA layout", name, k)
+			}
+
+			prev := engine.SetFusedKernels(false)
+			legacy, _ := engine.Run(g, p, sources)
+			engine.SetFusedKernels(prev)
+			if legacy.SoA() {
+				t.Fatalf("%s K=%d: legacy run picked the SoA layout", name, k)
+			}
+			requireSameValues(t, name+" push fused-vs-legacy", fused, legacy, n, k)
+
+			tree, _ := engine.Run(forestView{g}, p, sources)
+			requireSameValues(t, name+" push flat-vs-tree", fused, tree, n, k)
+
+			for j, s := range sources {
+				single, _ := engine.Run(g, p, []graph.VertexID{s})
+				for v := 0; v < n; v++ {
+					if fv, sv := fused.Value(graph.VertexID(v), j), single.Value(graph.VertexID(v), 0); fv != sv {
+						t.Fatalf("%s K=%d slot %d: push value(%d) fused=%#x single=%#x",
+							name, k, j, v, fv, sv)
+					}
+				}
+			}
+
+			fusedRev, _ := engine.RunReverse(g, p, sources)
+			prev = engine.SetFusedKernels(false)
+			legacyRev, _ := engine.RunReverse(g, p, sources)
+			engine.SetFusedKernels(prev)
+			requireSameValues(t, name+" pull fused-vs-legacy", fusedRev, legacyRev, n, k)
+
+			for j, s := range sources {
+				single, _ := engine.RunReverse(g, p, []graph.VertexID{s})
+				for v := 0; v < n; v++ {
+					if fv, sv := fusedRev.Value(graph.VertexID(v), j), single.Value(graph.VertexID(v), 0); fv != sv {
+						t.Fatalf("%s K=%d slot %d: pull value(%d) fused=%#x single=%#x",
+							name, k, j, v, fv, sv)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedForcedRepresentations pins the frontier representation to
+// each side of the Ligra-style switch and checks the fused kernel
+// against the legacy one on both, so neither the sparse per-vertex path
+// nor the dense mask sweep hides behind the heuristic.
+func TestFusedForcedRepresentations(t *testing.T) {
+	const n, m, k = 256, 2600, 16
+	g := randomCSR(n, m, true, 71)
+	rng := xrand.New(73)
+	sources := pickSources(n, k, rng)
+
+	for _, mode := range []struct {
+		name     string
+		fraction int
+	}{
+		{"sparse", 1},      // count*1 > n almost never: stays sparse
+		{"dense", 1 << 20}, // count*2^20 > n from the first superstep on
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			oldFrac := *engine.DenseFractionForTest
+			*engine.DenseFractionForTest = mode.fraction
+			defer func() { *engine.DenseFractionForTest = oldFrac }()
+
+			fused, fusedStats := engine.Run(g, props.SSSP{}, sources)
+			prev := engine.SetFusedKernels(false)
+			legacy, _ := engine.Run(g, props.SSSP{}, sources)
+			engine.SetFusedKernels(prev)
+			requireSameValues(t, mode.name, fused, legacy, n, k)
+
+			if mode.name == "dense" && fusedStats.DenseIterations == 0 {
+				t.Fatal("forced-dense run recorded no dense iterations")
+			}
+			if mode.name == "sparse" && fusedStats.DenseIterations != 0 {
+				t.Fatalf("forced-sparse run recorded %d dense iterations", fusedStats.DenseIterations)
+			}
+			if fusedStats.Hoists == 0 {
+				t.Fatal("fused run recorded no register-block hoists")
+			}
+		})
+	}
+}
+
+// TestFusedWindowedDenseSweep shrinks the cache-blocking budget until
+// the dense sweep must split into many destination windows, then checks
+// the windowed result against the legacy kernel and that the sweeps
+// were actually counted. Re-hoisting the register block per window is
+// only sound for monotonic problems — this is the test that would catch
+// a cursor or mask-lifetime bug in that machinery.
+func TestFusedWindowedDenseSweep(t *testing.T) {
+	const n, m, k = 400, 6000, 16
+	g := randomCSR(n, m, true, 79)
+	rng := xrand.New(83)
+	sources := pickSources(n, k, rng)
+
+	oldFrac := *engine.DenseFractionForTest
+	oldBudget := *engine.WindowBudgetForTest
+	*engine.DenseFractionForTest = 1 << 20 // force dense supersteps
+	*engine.WindowBudgetForTest = 2048     // K*n*8 = 51200 bytes → many windows
+	defer func() {
+		*engine.DenseFractionForTest = oldFrac
+		*engine.WindowBudgetForTest = oldBudget
+	}()
+
+	for name, p := range props.Registry() {
+		fused, stats := engine.Run(g, p, sources)
+		prev := engine.SetFusedKernels(false)
+		legacy, _ := engine.Run(g, p, sources)
+		engine.SetFusedKernels(prev)
+		requireSameValues(t, name+" windowed", fused, legacy, n, k)
+		if stats.BlockSweeps == 0 {
+			t.Fatalf("%s: no windowed sweeps recorded despite tiny budget", name)
+		}
+	}
+}
+
+// TestFusedStatsSurface checks the new counters flow into Stats and
+// through Add, so the server metrics and bench reports can trust them.
+func TestFusedStatsSurface(t *testing.T) {
+	a := engine.Stats{Hoists: 1, GateSkips: 2, BlockSweeps: 3}
+	a.Add(engine.Stats{Hoists: 10, GateSkips: 20, BlockSweeps: 30})
+	if a.Hoists != 11 || a.GateSkips != 22 || a.BlockSweeps != 33 {
+		t.Fatalf("Add dropped kernel counters: %+v", a)
+	}
+
+	g := randomCSR(128, 1024, true, 89)
+	_, stats := engine.Run(g, props.BFS{}, pickSources(128, 8, xrand.New(97)))
+	if stats.Hoists == 0 {
+		t.Fatal("width-8 fused run recorded no hoists")
+	}
+}

@@ -1,0 +1,696 @@
+// Fused width-K kernels over the struct-of-arrays value layout.
+//
+// Three ideas, layered:
+//
+//  1. Register-block hoisting. The legacy push kernel re-loads the source
+//     value atomically per (edge × active slot) — at K=64 one edge costs
+//     up to 64 dependent atomic loads. The fused kernel hoists the
+//     frontier vertex's active-slot values into a stack block once per
+//     vertex before the edge loop. This is sound for monotonic problems:
+//     if another worker improves the source concurrently, it also
+//     re-marks the vertex active (markActive), so the improvement
+//     propagates in a later superstep; the hoisted (stale but still
+//     sound) values can only under-propagate, never corrupt.
+//
+//  2. Devirtualized relaxation. All of package props' problems relax with
+//     one of six scalar ops; KernelSpec names the op so the kernel's edge
+//     loop runs a direct switch (one predictable branch per edge) instead
+//     of two interface calls per (edge × slot). Problems without a spec
+//     fall back to interface dispatch — still hoisted, still correct.
+//
+//  3. Cache-blocked dense sweeps. A dense superstep over a flat mirror
+//     touches K·N·8 bytes of destination values with power-law-random
+//     access. When that working set exceeds windowBudget, the fused
+//     kernel splits the vertex ID space into ascending destination
+//     windows and runs one pass per window, advancing a per-vertex arc
+//     cursor through the destination-sorted adjacency, so each pass's
+//     random writes land in a bounded value window.
+//
+// All fused kernels compute values bit-identical to the legacy kernels:
+// same CAS improve-or-retry order, same scalar ops (the spec ops are
+// transcriptions of the props implementations, covered by the width-sweep
+// equivalence tests and the -ablate fusedK verification). Work counters
+// may differ slightly — the legacy kernel re-reads sources mid-edge-loop
+// and can relax a slot the fused kernel defers to the next superstep.
+package engine
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"tripoline/internal/bitset"
+	"tripoline/internal/graph"
+	"tripoline/internal/parallel"
+)
+
+// RelaxKind names one of the fused scalar relaxations.
+type RelaxKind uint8
+
+const (
+	// RelaxGeneric means "no fused op": the kernel dispatches through the
+	// Problem interface.
+	RelaxGeneric RelaxKind = iota
+	// RelaxAddWeight propagates src + w (SSSP).
+	RelaxAddWeight
+	// RelaxAddOne propagates src + 1 (BFS hop count).
+	RelaxAddOne
+	// RelaxMinWeight propagates min(src, w) (SSWP bottleneck width).
+	RelaxMinWeight
+	// RelaxMaxWeight propagates max(src, w) (SSNP narrowest-path dual).
+	RelaxMaxWeight
+	// RelaxMulSat propagates satMul(src, w) (Viterbi probability chains).
+	RelaxMulSat
+	// RelaxConst propagates the spec's Const (SSR reachability).
+	RelaxConst
+)
+
+// KernelSpec describes a problem's relaxation precisely enough for the
+// fused kernels to run it without interface dispatch. The contract, which
+// every props problem satisfies:
+//
+//   - Relax(src, w) returns ok=false exactly when src == Gate, and
+//     otherwise returns the Kind's scalar op (never consulting more
+//     state);
+//   - Better(a, b) is a > b when MaxWins, a < b otherwise.
+type KernelSpec struct {
+	Kind RelaxKind
+	// Gate is the source value that propagates nothing (the init value).
+	Gate uint64
+	// MaxWins is true when larger values are better.
+	MaxWins bool
+	// Const is the propagated value for RelaxConst.
+	Const uint64
+}
+
+// SpecProblem is optionally implemented by problems whose relaxation is
+// one of the fused scalar ops.
+type SpecProblem interface {
+	Problem
+	KernelSpec() KernelSpec
+}
+
+func kernelSpecFor(p Problem) (KernelSpec, bool) {
+	if sp, ok := p.(SpecProblem); ok {
+		spec := sp.KernelSpec()
+		if spec.Kind != RelaxGeneric {
+			return spec, true
+		}
+	}
+	return KernelSpec{}, false
+}
+
+// satMulFused is a bit-identical transcription of props.satMul, local to
+// the engine so the fused Viterbi relaxation needs no props import (which
+// would be an import cycle).
+func satMulFused(a, b uint64) uint64 {
+	const unreached = ^uint64(0)
+	if a == unreached || b == unreached {
+		return unreached
+	}
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > (unreached-1)/b {
+		return unreached - 1
+	}
+	return a * b
+}
+
+// casImproveLess is casImprove monomorphized for min-wins problems
+// (Better(a, b) = a < b): no interface call in the retry loop.
+func casImproveLess(addr *uint64, cand uint64) bool {
+	for {
+		old := atomic.LoadUint64(addr)
+		if cand >= old {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, cand) {
+			return true
+		}
+	}
+}
+
+// casImproveGreater is casImprove monomorphized for max-wins problems.
+func casImproveGreater(addr *uint64, cand uint64) bool {
+	for {
+		old := atomic.LoadUint64(addr)
+		if cand <= old {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, cand) {
+			return true
+		}
+	}
+}
+
+// windowBudget is the destination-value working-set budget (bytes) of one
+// dense-sweep window. 4 MiB keeps a window's K·span·8 bytes of randomly
+// written values within a typical per-core L2+L3 share. A variable only
+// so tests can force multi-window sweeps on small graphs.
+var windowBudget = 4 << 20
+
+// maxWindows caps the number of destination windows: each window pass
+// re-scans the O(N) frontier masks, so unbounded splitting would trade
+// cache hits for sweep overhead.
+const maxWindows = 32
+
+// blockWindows returns how many destination windows a dense sweep of an
+// N-vertex, K-wide state should use (1 = unblocked).
+func blockWindows(k, n int) int {
+	bytes := k * n * 8
+	w := (bytes + windowBudget - 1) / windowBudget
+	if w > maxWindows {
+		w = maxWindows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// pushKCtx is the per-run context of the fused width-K push kernel over
+// an SoA state.
+type pushKCtx struct {
+	g       View
+	fv      FlatView
+	av      ArcView // non-nil enables the cache-blocked dense sweep
+	p       Problem
+	spec    KernelSpec
+	hasSpec bool
+	K       int
+	cols    []uint64
+	// soff[k] is slot k's base offset in the slot-blocked slab; the value
+	// of (v, k) is cols[soff[k] + v·lineWords]. Precomputed so the hot
+	// loops pay one add per slot access.
+	soff    []int
+	windows int
+
+	curMasks  []uint64
+	nextMasks []uint64
+	inNext    *bitset.Atomic
+}
+
+// hoist loads u's active-slot source values into the stack register
+// block src, once, before the edge loop. Loads are atomic: the words are
+// concurrently CASed by other workers, and a plain read would be a data
+// race (an atomic load costs the same as a plain one on amd64). With a
+// spec, slots whose hoisted value is still the gate are pruned here —
+// the returned live mask is what the edge loop iterates.
+func (kc *pushKCtx) hoist(u graph.VertexID, mask uint64, src *[64]uint64, c *workCounter) (live uint64) {
+	c.hoists++
+	soff, cols := kc.soff, kc.cols
+	ub := int(u) * lineWords
+	if !kc.hasSpec {
+		for m := mask; m != 0; m &= m - 1 {
+			k := bits.TrailingZeros64(m)
+			src[k] = atomic.LoadUint64(&cols[soff[k]+ub])
+		}
+		return mask
+	}
+	gate := kc.spec.Gate
+	for m := mask; m != 0; m &= m - 1 {
+		k := bits.TrailingZeros64(m)
+		v := atomic.LoadUint64(&cols[soff[k]+ub])
+		if v == gate {
+			continue
+		}
+		src[k] = v
+		live |= 1 << uint(k)
+	}
+	c.gates += int64(bits.OnesCount64(mask ^ live))
+	return live
+}
+
+// relaxEdge relaxes one edge (u → d, weight w) for every live slot,
+// reading sources from the hoisted register block. The spec switch sits
+// per edge, outside the slot loop, so its cost amortizes over the K
+// slots; each case's inner loop is branch-predictable straight-line code
+// with a monomorphic CAS.
+func (kc *pushKCtx) relaxEdge(c *workCounter, d graph.VertexID, w graph.Weight, src *[64]uint64, live uint64) {
+	soff, cols := kc.soff, kc.cols
+	db := int(d) * lineWords
+	if !kc.hasSpec {
+		p := kc.p
+		for m := live; m != 0; m &= m - 1 {
+			k := bits.TrailingZeros64(m)
+			cand, ok := p.Relax(src[k], w)
+			if !ok {
+				continue
+			}
+			c.relax++
+			if casImprove(&cols[soff[k]+db], cand, p) {
+				c.upd++
+				markActive(kc.nextMasks, kc.inNext, d, k)
+			}
+		}
+		return
+	}
+	switch kc.spec.Kind {
+	case RelaxAddWeight:
+		wv := uint64(w)
+		for m := live; m != 0; m &= m - 1 {
+			k := bits.TrailingZeros64(m)
+			c.relax++
+			if casImproveLess(&cols[soff[k]+db], src[k]+wv) {
+				c.upd++
+				markActive(kc.nextMasks, kc.inNext, d, k)
+			}
+		}
+	case RelaxAddOne:
+		for m := live; m != 0; m &= m - 1 {
+			k := bits.TrailingZeros64(m)
+			c.relax++
+			if casImproveLess(&cols[soff[k]+db], src[k]+1) {
+				c.upd++
+				markActive(kc.nextMasks, kc.inNext, d, k)
+			}
+		}
+	case RelaxMinWeight:
+		wv := uint64(w)
+		for m := live; m != 0; m &= m - 1 {
+			k := bits.TrailingZeros64(m)
+			cand := src[k]
+			if wv < cand {
+				cand = wv
+			}
+			c.relax++
+			if casImproveGreater(&cols[soff[k]+db], cand) {
+				c.upd++
+				markActive(kc.nextMasks, kc.inNext, d, k)
+			}
+		}
+	case RelaxMaxWeight:
+		wv := uint64(w)
+		for m := live; m != 0; m &= m - 1 {
+			k := bits.TrailingZeros64(m)
+			cand := src[k]
+			if wv > cand {
+				cand = wv
+			}
+			c.relax++
+			if casImproveLess(&cols[soff[k]+db], cand) {
+				c.upd++
+				markActive(kc.nextMasks, kc.inNext, d, k)
+			}
+		}
+	case RelaxMulSat:
+		wv := uint64(w)
+		for m := live; m != 0; m &= m - 1 {
+			k := bits.TrailingZeros64(m)
+			c.relax++
+			if casImproveLess(&cols[soff[k]+db], satMulFused(src[k], wv)) {
+				c.upd++
+				markActive(kc.nextMasks, kc.inNext, d, k)
+			}
+		}
+	case RelaxConst:
+		cand := kc.spec.Const
+		improve := casImproveLess
+		if kc.spec.MaxWins {
+			improve = casImproveGreater
+		}
+		for m := live; m != 0; m &= m - 1 {
+			k := bits.TrailingZeros64(m)
+			c.relax++
+			if improve(&cols[soff[k]+db], cand) {
+				c.upd++
+				markActive(kc.nextMasks, kc.inNext, d, k)
+			}
+		}
+	}
+}
+
+// relaxSpan relaxes a run of arcs (dsts[i], wgts[i]) for every live
+// slot, with the spec switch hoisted out of the arc loop entirely — the
+// width-K analogue of the K=1 kernel's flatEdges. The live slots are
+// compacted once per span into dense stack arrays (destination offset,
+// hoisted source value, slot index), so the (arc × slot) double loops
+// below run with no mask arithmetic and no per-arc call or dispatch.
+// Problems without a spec keep the per-edge interface path.
+func (kc *pushKCtx) relaxSpan(c *workCounter, dsts []graph.VertexID, wgts []graph.Weight, src *[64]uint64, live uint64) {
+	if !kc.hasSpec {
+		for i, d := range dsts {
+			kc.relaxEdge(c, d, wgts[i], src, live)
+		}
+		return
+	}
+	soff, cols := kc.soff, kc.cols
+	var offs [64]int
+	var vals [64]uint64
+	var ks [64]int
+	ns := 0
+	for m := live; m != 0; m &= m - 1 {
+		k := bits.TrailingZeros64(m)
+		offs[ns], vals[ns], ks[ns] = soff[k], src[k], k
+		ns++
+	}
+	switch kc.spec.Kind {
+	case RelaxAddWeight:
+		for i, d := range dsts {
+			wv := uint64(wgts[i])
+			db := int(d) * lineWords
+			for j := 0; j < ns; j++ {
+				if casImproveLess(&cols[offs[j]+db], vals[j]+wv) {
+					c.upd++
+					markActive(kc.nextMasks, kc.inNext, d, ks[j])
+				}
+			}
+		}
+	case RelaxAddOne:
+		for j := 0; j < ns; j++ {
+			vals[j]++
+		}
+		for _, d := range dsts {
+			db := int(d) * lineWords
+			for j := 0; j < ns; j++ {
+				if casImproveLess(&cols[offs[j]+db], vals[j]) {
+					c.upd++
+					markActive(kc.nextMasks, kc.inNext, d, ks[j])
+				}
+			}
+		}
+	case RelaxMinWeight:
+		for i, d := range dsts {
+			wv := uint64(wgts[i])
+			db := int(d) * lineWords
+			for j := 0; j < ns; j++ {
+				cand := vals[j]
+				if wv < cand {
+					cand = wv
+				}
+				if casImproveGreater(&cols[offs[j]+db], cand) {
+					c.upd++
+					markActive(kc.nextMasks, kc.inNext, d, ks[j])
+				}
+			}
+		}
+	case RelaxMaxWeight:
+		for i, d := range dsts {
+			wv := uint64(wgts[i])
+			db := int(d) * lineWords
+			for j := 0; j < ns; j++ {
+				cand := vals[j]
+				if wv > cand {
+					cand = wv
+				}
+				if casImproveLess(&cols[offs[j]+db], cand) {
+					c.upd++
+					markActive(kc.nextMasks, kc.inNext, d, ks[j])
+				}
+			}
+		}
+	case RelaxMulSat:
+		for i, d := range dsts {
+			wv := uint64(wgts[i])
+			db := int(d) * lineWords
+			for j := 0; j < ns; j++ {
+				if casImproveLess(&cols[offs[j]+db], satMulFused(vals[j], wv)) {
+					c.upd++
+					markActive(kc.nextMasks, kc.inNext, d, ks[j])
+				}
+			}
+		}
+	case RelaxConst:
+		cand := kc.spec.Const
+		improve := casImproveLess
+		if kc.spec.MaxWins {
+			improve = casImproveGreater
+		}
+		for _, d := range dsts {
+			db := int(d) * lineWords
+			for j := 0; j < ns; j++ {
+				if improve(&cols[offs[j]+db], cand) {
+					c.upd++
+					markActive(kc.nextMasks, kc.inNext, d, ks[j])
+				}
+			}
+		}
+	}
+	// Every (arc, live slot) pair is one relaxation attempt — counted in
+	// bulk; the gate pruning already happened at hoist time.
+	c.relax += int64(len(dsts)) * int64(ns)
+}
+
+// process is the fused vertex function: hoist once, then relax every
+// out-edge from the register block.
+func (kc *pushKCtx) process(c *workCounter, u graph.VertexID) {
+	mask := kc.curMasks[u]
+	if mask == 0 {
+		return
+	}
+	kc.curMasks[u] = 0
+	c.acts += int64(bits.OnesCount64(mask))
+	var src [64]uint64
+	live := kc.hoist(u, mask, &src, c)
+	if live == 0 {
+		return
+	}
+	if kc.fv != nil {
+		dsts, ws := kc.fv.OutSpan(u)
+		kc.relaxSpan(c, dsts, ws, &src, live)
+		return
+	}
+	kc.g.ForEachOut(u, func(d graph.VertexID, w graph.Weight) {
+		kc.relaxEdge(c, d, w, &src, live)
+	})
+}
+
+// denseWindowed is the cache-blocked dense superstep: kc.windows passes
+// over the frontier, pass wi relaxing only arcs whose destination falls
+// in the wi-th ascending window of the vertex ID space. cursors[v]
+// tracks v's position in its destination-sorted arc range; it is seeded
+// from the arc offsets in the first window and advances monotonically.
+// Frontier masks are cleared only in the last window (markActive targets
+// nextMasks, so re-reading curMasks across windows is safe), activations
+// are counted once (first window), and sources are re-hoisted per window
+// — each hoist sees equal-or-better values, which is sound for the same
+// monotonicity reason as hoisting itself.
+func (kc *pushKCtx) denseWindowed(counters []workCounter, n int, cursors []int64) {
+	off, adj, wgt := kc.av.Arcs()
+	windows := kc.windows
+	span := (n + windows - 1) / windows
+	for wi := 0; wi < windows; wi++ {
+		hi := (wi + 1) * span
+		if hi > n {
+			hi = n
+		}
+		first := wi == 0
+		last := wi == windows-1
+		parallel.ForRangeID(n, 128, func(wid, start, end int) {
+			c := &counters[wid]
+			var src [64]uint64
+			for v := start; v < end; v++ {
+				mask := kc.curMasks[v]
+				if mask == 0 {
+					continue
+				}
+				if first {
+					c.acts += int64(bits.OnesCount64(mask))
+					cursors[v] = off[v]
+				}
+				if last {
+					kc.curMasks[v] = 0
+				}
+				cur := cursors[v]
+				stop := off[v+1]
+				// No arcs land in this window (power-law graphs put most
+				// vertices' handful of arcs in a few windows): skip the
+				// hoist entirely — the cursor already sits on the first
+				// later-window arc, so there is nothing to advance past.
+				if cur >= stop || int(adj[cur]) >= hi {
+					continue
+				}
+				// Find the window's arc run up front (a sequential scan of
+				// the already-cached adjacency), so the relaxation below is
+				// one span call with the spec switch outside the arc loop.
+				endArc := cur + 1
+				for endArc < stop && int(adj[endArc]) < hi {
+					endArc++
+				}
+				cursors[v] = endArc
+				live := kc.hoist(graph.VertexID(v), mask, &src, c)
+				if live == 0 {
+					continue
+				}
+				kc.relaxSpan(c, adj[cur:endArc], wgt[cur:endArc], &src, live)
+			}
+		})
+		counters[0].sweep++
+	}
+}
+
+// push1Ctx is the specialized K=1 push kernel: no mask loop, no slot
+// arithmetic — the frontier mask is a plain active bit and the value
+// array is indexed by vertex directly.
+type push1Ctx struct {
+	g       View
+	fv      FlatView
+	p       Problem
+	spec    KernelSpec
+	hasSpec bool
+	vals    []uint64
+
+	curMasks  []uint64
+	nextMasks []uint64
+	inNext    *bitset.Atomic
+}
+
+func (kc *push1Ctx) process(c *workCounter, u graph.VertexID) {
+	if kc.curMasks[u] == 0 {
+		return
+	}
+	kc.curMasks[u] = 0
+	c.acts++
+	c.hoists++
+	src := atomic.LoadUint64(&kc.vals[u])
+	if kc.hasSpec {
+		if src == kc.spec.Gate {
+			c.gates++
+			return
+		}
+		if kc.fv != nil {
+			kc.flatEdges(c, u, src)
+			return
+		}
+		kc.g.ForEachOut(u, func(d graph.VertexID, w graph.Weight) {
+			kc.specEdge(c, d, w, src)
+		})
+		return
+	}
+	p := kc.p
+	if kc.fv != nil {
+		dsts, ws := kc.fv.OutSpan(u)
+		for i, d := range dsts {
+			cand, ok := p.Relax(src, ws[i])
+			if !ok {
+				continue
+			}
+			c.relax++
+			if casImprove(&kc.vals[d], cand, p) {
+				c.upd++
+				markActive(kc.nextMasks, kc.inNext, d, 0)
+			}
+		}
+		return
+	}
+	kc.g.ForEachOut(u, func(d graph.VertexID, w graph.Weight) {
+		cand, ok := p.Relax(src, w)
+		if !ok {
+			return
+		}
+		c.relax++
+		if casImprove(&kc.vals[d], cand, p) {
+			c.upd++
+			markActive(kc.nextMasks, kc.inNext, d, 0)
+		}
+	})
+}
+
+// flatEdges is the devirtualized flat-adjacency edge loop of the K=1
+// kernel: the spec switch is hoisted out of the edge loop entirely, so
+// each case is a tight loop of load/op/CAS over the arc span.
+func (kc *push1Ctx) flatEdges(c *workCounter, u graph.VertexID, src uint64) {
+	dsts, ws := kc.fv.OutSpan(u)
+	vals := kc.vals
+	switch kc.spec.Kind {
+	case RelaxAddWeight:
+		for i, d := range dsts {
+			c.relax++
+			if casImproveLess(&vals[d], src+uint64(ws[i])) {
+				c.upd++
+				markActive(kc.nextMasks, kc.inNext, d, 0)
+			}
+		}
+	case RelaxAddOne:
+		cand := src + 1
+		for _, d := range dsts {
+			c.relax++
+			if casImproveLess(&vals[d], cand) {
+				c.upd++
+				markActive(kc.nextMasks, kc.inNext, d, 0)
+			}
+		}
+	case RelaxMinWeight:
+		for i, d := range dsts {
+			cand := src
+			if wv := uint64(ws[i]); wv < cand {
+				cand = wv
+			}
+			c.relax++
+			if casImproveGreater(&vals[d], cand) {
+				c.upd++
+				markActive(kc.nextMasks, kc.inNext, d, 0)
+			}
+		}
+	case RelaxMaxWeight:
+		for i, d := range dsts {
+			cand := src
+			if wv := uint64(ws[i]); wv > cand {
+				cand = wv
+			}
+			c.relax++
+			if casImproveLess(&vals[d], cand) {
+				c.upd++
+				markActive(kc.nextMasks, kc.inNext, d, 0)
+			}
+		}
+	case RelaxMulSat:
+		for i, d := range dsts {
+			c.relax++
+			if casImproveLess(&vals[d], satMulFused(src, uint64(ws[i]))) {
+				c.upd++
+				markActive(kc.nextMasks, kc.inNext, d, 0)
+			}
+		}
+	case RelaxConst:
+		cand := kc.spec.Const
+		improve := casImproveLess
+		if kc.spec.MaxWins {
+			improve = casImproveGreater
+		}
+		for _, d := range dsts {
+			c.relax++
+			if improve(&vals[d], cand) {
+				c.upd++
+				markActive(kc.nextMasks, kc.inNext, d, 0)
+			}
+		}
+	}
+}
+
+// specEdge relaxes one edge under the spec on the non-flat (tree view)
+// path, where the per-edge closure call dominates anyway.
+func (kc *push1Ctx) specEdge(c *workCounter, d graph.VertexID, w graph.Weight, src uint64) {
+	var cand uint64
+	switch kc.spec.Kind {
+	case RelaxAddWeight:
+		cand = src + uint64(w)
+	case RelaxAddOne:
+		cand = src + 1
+	case RelaxMinWeight:
+		cand = src
+		if wv := uint64(w); wv < cand {
+			cand = wv
+		}
+	case RelaxMaxWeight:
+		cand = src
+		if wv := uint64(w); wv > cand {
+			cand = wv
+		}
+	case RelaxMulSat:
+		cand = satMulFused(src, uint64(w))
+	default:
+		cand = kc.spec.Const
+	}
+	c.relax++
+	var won bool
+	if kc.spec.MaxWins {
+		won = casImproveGreater(&kc.vals[d], cand)
+	} else {
+		won = casImproveLess(&kc.vals[d], cand)
+	}
+	if won {
+		c.upd++
+		markActive(kc.nextMasks, kc.inNext, d, 0)
+	}
+}

@@ -62,13 +62,12 @@ func TestPushPullEquivalenceProperty(t *testing.T) {
 			var pullStats engine.Stats
 			pull.RunPull(g, &pullStats)
 
-			if len(push.Values) != len(pull.Values) {
-				t.Fatalf("%s n=%d: value lengths %d vs %d", name, sh.n, len(push.Values), len(pull.Values))
-			}
-			for i := range push.Values {
-				if push.Values[i] != pull.Values[i] {
-					t.Fatalf("%s n=%d seed=%d k=%d sources=%v: values[%d] push=%#x pull=%#x",
-						name, sh.n, sh.seed, k, sources, i, push.Values[i], pull.Values[i])
+			for v := 0; v < sh.n; v++ {
+				for j := 0; j < k; j++ {
+					if pv, lv := push.Value(graph.VertexID(v), j), pull.Value(graph.VertexID(v), j); pv != lv {
+						t.Fatalf("%s n=%d seed=%d k=%d sources=%v: value(%d,%d) push=%#x pull=%#x",
+							name, sh.n, sh.seed, k, sources, v, j, pv, lv)
+					}
 				}
 			}
 		}

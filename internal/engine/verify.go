@@ -35,21 +35,19 @@ func (st *State) CheckConverged(g View, max int) []Violation {
 		if mu.Load() >= int64(max) {
 			return
 		}
-		base := v * K
 		g.ForEachOut(graph.VertexID(v), func(d graph.VertexID, w graph.Weight) {
-			dbase := int(d) * K
 			for k := 0; k < K; k++ {
-				sv := st.Values[base+k]
+				sv := st.Value(graph.VertexID(v), k)
 				cand, ok := p.Relax(sv, w)
 				if !ok {
 					continue
 				}
-				if p.Better(cand, st.Values[dbase+k]) {
+				if have := st.Value(d, k); p.Better(cand, have) {
 					i := mu.Add(1) - 1
 					if int(i) < max {
 						out[i] = Violation{
 							Src: graph.VertexID(v), Dst: d, Slot: k,
-							Cand: cand, Have: st.Values[dbase+k],
+							Cand: cand, Have: have,
 						}
 					}
 				}

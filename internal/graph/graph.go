@@ -64,6 +64,14 @@ func (g *CSR) OutSpan(v VertexID) ([]VertexID, []Weight) {
 	return g.Neighbors(v)
 }
 
+// Arcs exposes the whole CSR arc arrays at once (the engine's ArcView
+// interface, used by the cache-blocked dense sweep): v's arcs are
+// Adj[Off[v]:Off[v+1]], destination-sorted, weights at the same
+// positions. The slices alias the graph and must not be modified.
+func (g *CSR) Arcs() ([]int64, []VertexID, []Weight) {
+	return g.Off, g.Adj, g.Wgt
+}
+
 // ForEachOut calls f(dst, w) for every out-edge of v.
 func (g *CSR) ForEachOut(v VertexID, f func(dst VertexID, w Weight)) {
 	lo, hi := g.Off[v], g.Off[v+1]

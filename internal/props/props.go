@@ -62,6 +62,15 @@ func (SSSP) Relax(srcVal uint64, w graph.Weight) (uint64, bool) {
 func (SSSP) Better(a, b uint64) bool    { return a < b }
 func (SSSP) Combine(a, b uint64) uint64 { return satAdd(a, b) }
 
+// KernelSpec describes Relax to the engine's fused kernels: gated on
+// Unreached, then src + w, smaller wins — exactly the code above. Every
+// KernelSpec in this package must stay a transcription of its Relax and
+// Better; the engine's width-sweep equivalence tests compare the two
+// bit for bit.
+func (SSSP) KernelSpec() engine.KernelSpec {
+	return engine.KernelSpec{Kind: engine.RelaxAddWeight, Gate: Unreached}
+}
+
 // ----------------------------------------------------------------- BFS --
 
 // BFS computes levels in the BFS tree: property = min number of edges on
@@ -81,6 +90,11 @@ func (BFS) Relax(srcVal uint64, _ graph.Weight) (uint64, bool) {
 
 func (BFS) Better(a, b uint64) bool    { return a < b }
 func (BFS) Combine(a, b uint64) uint64 { return satAdd(a, b) }
+
+// KernelSpec: gated on Unreached, then src + 1, smaller wins.
+func (BFS) KernelSpec() engine.KernelSpec {
+	return engine.KernelSpec{Kind: engine.RelaxAddOne, Gate: Unreached}
+}
 
 // ---------------------------------------------------------------- SSWP --
 
@@ -103,6 +117,11 @@ func (SSWP) Relax(srcVal uint64, w graph.Weight) (uint64, bool) {
 }
 
 func (SSWP) Better(a, b uint64) bool { return a > b }
+
+// KernelSpec: gated on 0, then min(src, w), larger wins.
+func (SSWP) KernelSpec() engine.KernelSpec {
+	return engine.KernelSpec{Kind: engine.RelaxMinWeight, Gate: 0, MaxWins: true}
+}
 
 // Combine is min: the width of a concatenated path is the narrower half.
 func (SSWP) Combine(a, b uint64) uint64 {
@@ -134,6 +153,11 @@ func (SSNP) Relax(srcVal uint64, w graph.Weight) (uint64, bool) {
 }
 
 func (SSNP) Better(a, b uint64) bool { return a < b }
+
+// KernelSpec: gated on Unreached, then max(src, w), smaller wins.
+func (SSNP) KernelSpec() engine.KernelSpec {
+	return engine.KernelSpec{Kind: engine.RelaxMaxWeight, Gate: Unreached}
+}
 
 // Combine is max, with Unreached absorbing.
 func (SSNP) Combine(a, b uint64) uint64 {
@@ -174,6 +198,12 @@ func (Viterbi) Relax(srcVal uint64, w graph.Weight) (uint64, bool) {
 
 func (Viterbi) Better(a, b uint64) bool    { return a < b }
 func (Viterbi) Combine(a, b uint64) uint64 { return satMul(a, b) }
+
+// KernelSpec: gated on Unreached, then satMul(src, w) (the engine holds
+// a bit-identical satMul transcription), smaller wins.
+func (Viterbi) KernelSpec() engine.KernelSpec {
+	return engine.KernelSpec{Kind: engine.RelaxMulSat, Gate: Unreached}
+}
 
 // ViterbiProb decodes an encoded Viterbi value to the path probability.
 func ViterbiProb(encoded uint64) float64 {
@@ -216,6 +246,11 @@ func (SSR) Relax(srcVal uint64, _ graph.Weight) (uint64, bool) {
 
 func (SSR) Better(a, b uint64) bool    { return a > b }
 func (SSR) Combine(a, b uint64) uint64 { return a & b }
+
+// KernelSpec: gated on 0, then the constant 1, larger wins.
+func (SSR) KernelSpec() engine.KernelSpec {
+	return engine.KernelSpec{Kind: engine.RelaxConst, Gate: 0, MaxWins: true, Const: 1}
+}
 
 // --------------------------------------------------------------- Radii --
 

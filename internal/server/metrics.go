@@ -1,6 +1,9 @@
 package server
 
-import "tripoline/internal/metrics"
+import (
+	"tripoline/internal/engine"
+	"tripoline/internal/metrics"
+)
 
 // serverMetrics bundles the instruments the serving layer updates on
 // every request. All are registered in one Registry so /v1/metrics and
@@ -15,6 +18,9 @@ type serverMetrics struct {
 	deletes            *metrics.Counter // deletion batches applied
 	batchEdges         *metrics.Counter // edges across all batches
 	activations        *metrics.Counter // engine vertex activations spent on queries
+	hoists             *metrics.Counter // register-block hoists in the fused kernels
+	gateSkips          *metrics.Counter // slots pruned at hoist time (still at the gate value)
+	blockSweeps        *metrics.Counter // cache-blocked dense sweep passes
 	rejected           *metrics.Counter // 429s from the admission gate
 	canceled           *metrics.Counter // queries ended by deadline/disconnect
 	errors             *metrics.Counter // other 4xx/5xx responses
@@ -34,6 +40,9 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 		deletes:            reg.Counter("tripoline_deletes_total", "Edge-deletion batches applied."),
 		batchEdges:         reg.Counter("tripoline_batch_edges_total", "Edges across all applied batches."),
 		activations:        reg.Counter("tripoline_query_activations_total", "Engine vertex activations spent answering queries."),
+		hoists:             reg.Counter("tripoline_kernel_hoists_total", "Register-block hoists performed by the fused width-K kernels."),
+		gateSkips:          reg.Counter("tripoline_kernel_gate_skips_total", "Batch slots pruned at hoist time because the source was still at the gate value."),
+		blockSweeps:        reg.Counter("tripoline_kernel_block_sweeps_total", "Cache-blocked dense sweep passes executed by the fused kernels."),
 		rejected:           reg.Counter("tripoline_rejected_total", "Requests refused 429 by the admission gate."),
 		canceled:           reg.Counter("tripoline_canceled_total", "Queries ended early by deadline or client disconnect."),
 		errors:             reg.Counter("tripoline_errors_total", "Requests answered with another 4xx/5xx status."),
@@ -41,4 +50,13 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 		queryLatency:       reg.Histogram("tripoline_query_seconds", "Query request latency in seconds.", metrics.DefBuckets),
 		writeLatency:       reg.Histogram("tripoline_write_seconds", "Batch/delete request latency in seconds.", metrics.DefBuckets),
 	}
+}
+
+// observeEngine folds one query's engine statistics into the counters,
+// so /v1/stats exposes the fused-kernel work alongside activations.
+func (m *serverMetrics) observeEngine(st engine.Stats) {
+	m.activations.Add(st.Activations)
+	m.hoists.Add(st.Hoists)
+	m.gateSkips.Add(st.GateSkips)
+	m.blockSweeps.Add(st.BlockSweeps)
 }

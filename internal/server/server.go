@@ -388,7 +388,7 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 	if res.Incremental {
 		s.met.queriesIncremental.Inc()
 	}
-	s.met.activations.Add(res.Stats.Activations)
+	s.met.observeEngine(res.Stats)
 	return writeJSON(w, queryResponse{
 		Problem:     res.Problem,
 		Source:      uint32(res.Source),
@@ -421,7 +421,7 @@ func (s *Server) handleQueryAt(ctx context.Context, w http.ResponseWriter, r *ht
 	if err != nil {
 		return writeErr(w, statusFor(err), "%v", err)
 	}
-	s.met.activations.Add(res.Stats.Activations)
+	s.met.observeEngine(res.Stats)
 	return writeJSON(w, queryResponse{
 		Problem:     res.Problem,
 		Source:      uint32(res.Source),
@@ -465,7 +465,7 @@ func (s *Server) handleQueryMany(ctx context.Context, w http.ResponseWriter, r *
 		return writeErr(w, statusFor(err), "%v", err)
 	}
 	s.met.queriesIncremental.Add(int64(len(sources)))
-	s.met.activations.Add(res.Stats.Activations)
+	s.met.observeEngine(res.Stats)
 	return writeJSON(w, queryManyResponse{
 		Problem: res.Problem,
 		Sources: req.Sources,

@@ -194,12 +194,24 @@ func (m *Manager) noteVersion(g engine.View) {
 	}
 }
 
+// StandingColumn returns slot k's converged forward property column
+// (property(r_k, x) for every x). It is a zero-copy view into the
+// standing state when the layout stores columns contiguously (K=1), and
+// a parallel strided copy on the width-K layouts (interleaved and
+// slot-blocked alike); either way the caller must treat it as read-only
+// and use it before the next maintenance pass.
+func (m *Manager) StandingColumn(k int) []uint64 {
+	if col, ok := m.Forward.ColumnView(k); ok {
+		return col
+	}
+	return m.Forward.Column(k)
+}
+
 // DeltaFor materializes the Δ(u, r*) initialization array for a user
 // query rooted at u, using the best standing query. It returns the init
 // values, the chosen slot, and property(u, r*).
 func (m *Manager) DeltaFor(u graph.VertexID) (init []uint64, slot int, propUR uint64) {
 	slot, propUR = m.Select(u)
-	init = triangle.DeltaInitStrided(m.Problem, u, propUR,
-		m.Forward.Values, m.Forward.K, slot, m.Forward.N)
+	init = triangle.DeltaInit(m.Problem, u, propUR, m.StandingColumn(slot))
 	return init, slot, propUR
 }

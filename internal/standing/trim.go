@@ -79,12 +79,12 @@ func (m *Manager) taintForward(g engine.View, deleted []graph.Edge, undirected b
 		}
 		var mask uint64
 		for k := 0; k < K; k++ {
-			va := st.Values[int(a)*K+k]
+			va := st.Value(a, k)
 			if va == init {
 				continue
 			}
 			cand, ok := p.Relax(va, w)
-			if ok && cand == st.Values[int(b)*K+k] {
+			if ok && cand == st.Value(b, k) {
 				mask |= 1 << uint(k)
 			}
 		}
@@ -109,18 +109,16 @@ func (m *Manager) taintForward(g engine.View, deleted []graph.Edge, undirected b
 		x := frontier[len(frontier)-1]
 		frontier = frontier[:len(frontier)-1]
 		mask := taint[x]
-		base := int(x) * K
 		g.ForEachOut(x, func(y graph.VertexID, w graph.Weight) {
-			ybase := int(y) * K
 			var add uint64
 			for mk := mask; mk != 0; mk &= mk - 1 {
 				k := trailingBit(mk)
-				vx := st.Values[base+k]
+				vx := st.Value(x, k)
 				if vx == init {
 					continue
 				}
 				cand, ok := p.Relax(vx, w)
-				if ok && cand == st.Values[ybase+k] && taint[y]&(1<<uint(k)) == 0 {
+				if ok && cand == st.Value(y, k) && taint[y]&(1<<uint(k)) == 0 {
 					add |= 1 << uint(k)
 				}
 			}
@@ -146,7 +144,7 @@ func (m *Manager) repairForward(g engine.View, taint []uint64) engine.Stats {
 	parallel.ForGrain(n, 256, func(v int) {
 		mask := taint[v]
 		for mk := mask; mk != 0; mk &= mk - 1 {
-			st.Values[v*K+trailingBit(mk)] = init
+			st.SetValue(graph.VertexID(v), trailingBit(mk), init)
 		}
 	})
 	seeds := make([]graph.VertexID, 0, n)
@@ -186,12 +184,12 @@ func (m *Manager) taintReverse(g engine.View, deleted []graph.Edge, undirected b
 			return
 		}
 		for k := 0; k < K; k++ {
-			vb := st.Values[int(b)*K+k]
+			vb := st.Value(b, k)
 			if vb == init {
 				continue
 			}
 			cand, ok := p.Relax(vb, w)
-			if ok && cand == st.Values[int(a)*K+k] {
+			if ok && cand == st.Value(a, k) {
 				taint[a] |= 1 << uint(k)
 			}
 		}
@@ -206,7 +204,6 @@ func (m *Manager) taintReverse(g engine.View, deleted []graph.Edge, undirected b
 	for {
 		changed := false
 		for z := 0; z < n; z++ {
-			zbase := z * K
 			g.ForEachOut(graph.VertexID(z), func(y graph.VertexID, w graph.Weight) {
 				ty := taint[y]
 				if ty == 0 {
@@ -214,12 +211,12 @@ func (m *Manager) taintReverse(g engine.View, deleted []graph.Edge, undirected b
 				}
 				for mk := ty &^ taint[z]; mk != 0; mk &= mk - 1 {
 					k := trailingBit(mk)
-					vy := st.Values[int(y)*K+k]
+					vy := st.Value(y, k)
 					if vy == init {
 						continue
 					}
 					cand, ok := p.Relax(vy, w)
-					if ok && cand == st.Values[zbase+k] {
+					if ok && cand == st.Value(graph.VertexID(z), k) {
 						taint[z] |= 1 << uint(k)
 						changed = true
 					}
@@ -239,10 +236,9 @@ func (m *Manager) repairReverse(g engine.View, taint []uint64) engine.Stats {
 	st := m.Reverse
 	p := m.Problem
 	init := p.InitValue()
-	K := st.K
 	parallel.ForGrain(st.N, 256, func(v int) {
 		for mk := taint[v]; mk != 0; mk &= mk - 1 {
-			st.Values[v*K+trailingBit(mk)] = init
+			st.SetValue(graph.VertexID(v), trailingBit(mk), init)
 		}
 	})
 	for k, r := range m.Roots {

@@ -40,17 +40,31 @@ func DeltaInit(p engine.Problem, u graph.VertexID, propUR uint64, standing []uin
 	return init
 }
 
-// DeltaInitStrided is DeltaInit reading slot k of a K-wide standing state
-// (values[x*K+k]), avoiding an intermediate column copy.
-func DeltaInitStrided(p engine.Problem, u graph.VertexID, propUR uint64, values []uint64, stride, k, n int) []uint64 {
-	init := make([]uint64, n)
+// DeltaInitInto is DeltaInit writing into dst (len(dst) ≥ len(standing)),
+// so batch paths can fill a width-K state's column views in place with no
+// intermediate allocation or copy.
+func DeltaInitInto(dst []uint64, p engine.Problem, u graph.VertexID, propUR uint64, standing []uint64) {
+	n := len(standing)
 	parallel.For(n, func(x int) {
-		init[x] = p.Combine(propUR, values[x*stride+k])
+		dst[x] = p.Combine(propUR, standing[x])
 	})
 	if int(u) < n {
-		init[u] = p.SourceValue()
+		dst[u] = p.SourceValue()
 	}
-	return init
+}
+
+// DeltaInitStridedInto is DeltaInit writing slot j of a width-stride
+// interleaved array (dst[x*stride+j] for every x covered by standing),
+// in parallel, with no intermediate column. It is the fallback for
+// states whose layout has no contiguous column to hand to DeltaInitInto.
+func DeltaInitStridedInto(dst []uint64, stride, j int, p engine.Problem, u graph.VertexID, propUR uint64, standing []uint64) {
+	n := len(standing)
+	parallel.For(n, func(x int) {
+		dst[x*stride+j] = p.Combine(propUR, standing[x])
+	})
+	if int(u) < n {
+		dst[int(u)*stride+j] = p.SourceValue()
+	}
 }
 
 // Holds verifies the triangle inequality for one concrete triple:

@@ -93,15 +93,28 @@ func TestDeltaInitUnreachableRoot(t *testing.T) {
 	}
 }
 
-func TestDeltaInitStridedMatchesColumn(t *testing.T) {
+func TestDeltaInitIntoVariantsMatchColumn(t *testing.T) {
 	p := props.SSWP{}
-	// Two-slot standing state: slot 1 holds {Src: 9, Dst: 4, W: 6}.
-	values := []uint64{0, 9, 0, 4, 0, 6}
-	a := triangle.DeltaInitStrided(p, 1, 5, values, 2, 1, 3)
-	b := triangle.DeltaInit(p, 1, 5, []uint64{9, 4, 6})
+	standing := []uint64{9, 4, 6}
+	b := triangle.DeltaInit(p, 1, 5, standing)
+
+	a := make([]uint64, len(standing))
+	triangle.DeltaInitInto(a, p, 1, 5, standing)
 	for i := range a {
 		if a[i] != b[i] {
-			t.Fatalf("strided[%d]=%d, column=%d", i, a[i], b[i])
+			t.Fatalf("into[%d]=%d, column=%d", i, a[i], b[i])
+		}
+	}
+
+	// Strided fallback: slot 1 of a two-wide interleaved array.
+	strided := make([]uint64, 2*len(standing))
+	triangle.DeltaInitStridedInto(strided, 2, 1, p, 1, 5, standing)
+	for i := range b {
+		if strided[i*2+1] != b[i] {
+			t.Fatalf("strided[%d]=%d, column=%d", i, strided[i*2+1], b[i])
+		}
+		if strided[i*2] != 0 {
+			t.Fatalf("strided write leaked into slot 0 at %d", i)
 		}
 	}
 }
