@@ -12,6 +12,12 @@
 //	tripoline-check -schedules 200 -seed 1
 //	tripoline-check -schedules 50 -seed 2 -json
 //	tripoline-check -schedules 10000 -seed 7 -repro-dir ./repros
+//	tripoline-check -serving -schedules 1000 -seed 1
+//
+// -serving selects the serving-layer variant instead: the same generated
+// schedules replayed against the Δ-result cache and subscription
+// surface, verifying every cached answer and every pushed frame against
+// the from-scratch oracle at its reported version.
 //
 // The run is deterministic: the same -schedules/-seed pair replays the
 // identical workloads and produces the identical verdicts (the *_fired
@@ -40,8 +46,13 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON")
 	reproDir := flag.String("repro-dir", "", "write dd-minimized repros for diverging schedules into this directory")
 	corrupt := flag.Bool("corrupt-delta", false, "arm the skew-delta fault seam (self-test: every flat replay must diverge)")
+	serving := flag.Bool("serving", false, "run the serving-layer checker (Delta-result cache + subscriptions) instead of the replay checker")
 	verbose := flag.Bool("v", false, "print one line per schedule")
 	flag.Parse()
+
+	if *serving {
+		return runServing(*schedules, *seed, *jsonOut, *verbose)
+	}
 
 	opts := check.Options{CorruptDelta: *corrupt}
 	start := time.Now()
@@ -86,6 +97,44 @@ func run() int {
 		fmt.Printf("faults: cancels=%d (fired %d) deny-retain=%d force-full=%d evicts=%d (fired %d)\n",
 			sum.Faults.Cancels, sum.Faults.CancelsFired, sum.Faults.DenyRetain,
 			sum.Faults.ForceFull, sum.Faults.Evicts, sum.Faults.EvictsFired)
+	}
+	if sum.Divergences > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runServing drives the serving-layer checker over the same derived
+// schedule sequence the replay checker uses.
+func runServing(schedules int, seed uint64, jsonOut, verbose bool) int {
+	start := time.Now()
+	sum := check.RunServingMany(schedules, seed, func(i int, v check.ServingVerdict) {
+		if verbose || v.Diverged {
+			fmt.Fprintf(os.Stderr, "schedule %d: seed=%d n=%d ops=%d hits=%d frames=%d subs=%d diverged=%v\n",
+				i, v.Seed, v.N, v.Ops, v.CacheHits, v.Frames, v.Subscriptions, v.Diverged)
+		}
+		for _, r := range v.Reasons {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+	})
+	elapsed := time.Since(start)
+
+	if jsonOut {
+		out := struct {
+			check.ServingSummary
+			ElapsedMS       int64   `json:"elapsed_ms"`
+			SchedulesPerSec float64 `json:"schedules_per_sec"`
+		}{sum, elapsed.Milliseconds(), float64(sum.Schedules) / elapsed.Seconds()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "tripoline-check: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Printf("serving-checked %d schedules (seed %d) in %v: %d cache hits, %d frames over %d subscriptions, %d divergences\n",
+			sum.Schedules, sum.Seed, elapsed.Round(time.Millisecond),
+			sum.CacheHits, sum.Frames, sum.Subscriptions, sum.Divergences)
 	}
 	if sum.Divergences > 0 {
 		return 1

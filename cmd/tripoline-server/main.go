@@ -11,6 +11,8 @@
 //
 //	curl 'localhost:8080/v1/stats'
 //	curl 'localhost:8080/v1/query?problem=SSWP&source=42'
+//	curl 'localhost:8080/v1/query?problem=SSWP&source=42&stale=ok'
+//	curl -N 'localhost:8080/v1/subscribe?problem=SSWP&src=42'
 //	curl -X POST localhost:8080/v1/batch -d '{"edges":[{"src":1,"dst":2,"w":3}]}'
 package main
 
@@ -49,6 +51,8 @@ func main() {
 		maxInFlight  = flag.Int("max-inflight", 0, "max concurrent evaluations (0 = unbounded)")
 		queueDepth   = flag.Int("queue-depth", 64, "admission wait-queue depth once -max-inflight is reached")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight queries at shutdown")
+		resultCache  = flag.Int("result-cache", core.DefaultCacheEntries, "Delta-result cache capacity in entries (0 disables caching)")
+		subBuffer    = flag.Int("sub-buffer", core.DefaultSubscriptionBuffer, "per-subscriber frame buffer for /v1/subscribe")
 	)
 	flag.Parse()
 
@@ -81,6 +85,9 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *resultCache > 0 {
+		sys.EnableResultCache(*resultCache)
+	}
 	snap := g.Acquire()
 	fmt.Printf("tripoline-server: %d vertices, %d arcs, problems %v, listening on %s\n",
 		snap.NumVertices(), snap.NumEdges(), sys.Enabled(), *addr)
@@ -89,6 +96,7 @@ func main() {
 		server.WithQueryTimeout(*queryTimeout),
 		server.WithWriteTimeout(*writeTimeout),
 		server.WithMaxInFlight(*maxInFlight, *queueDepth),
+		server.WithSubscriptionBuffer(*subBuffer),
 	)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

@@ -3,13 +3,11 @@ package check
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 
 	"tripoline/internal/core"
 	"tripoline/internal/engine"
 	"tripoline/internal/graph"
-	"tripoline/internal/oracle"
 	"tripoline/internal/streamgraph"
 	"tripoline/internal/xrand"
 )
@@ -109,19 +107,14 @@ type replayResult struct {
 }
 
 type replayer struct {
+	// oracleSet caches the per-version snapshots, CSRs, and sequential
+	// oracle answers; Op.VerIdx indexes its versions list.
+	*oracleSet
 	v   variant
 	sys *core.System
 	g   *streamgraph.Graph
 	res *replayResult
 	rng *xrand.RNG // shuffle permutations
-	// versions records every published version in order; Op.VerIdx
-	// indexes this list. snaps/csrs/oracle caches are keyed by version.
-	versions []uint64
-	snaps    map[uint64]*streamgraph.Snapshot
-	csrs     map[uint64]*graph.CSR
-	pr       map[uint64][]float64
-	cc       map[uint64][]uint64
-	ssnsp    map[[2]uint64][2][]uint64
 }
 
 // replay drives one core.System through the schedule under the given
@@ -145,14 +138,10 @@ func replay(s *Schedule, v variant) *replayResult {
 	}
 	sys.EnableHistory(historyCap)
 	r := &replayer{
-		v: v, sys: sys, g: g,
-		res:   &replayResult{},
-		rng:   xrand.New(s.Seed ^ 0x9e3779b97f4a7c15),
-		snaps: make(map[uint64]*streamgraph.Snapshot),
-		csrs:  make(map[uint64]*graph.CSR),
-		pr:    make(map[uint64][]float64),
-		cc:    make(map[uint64][]uint64),
-		ssnsp: make(map[[2]uint64][2][]uint64),
+		oracleSet: newOracleSet(g),
+		v:         v, sys: sys, g: g,
+		res: &replayResult{},
+		rng: xrand.New(s.Seed ^ 0x9e3779b97f4a7c15),
 	}
 	r.record()
 	for i, op := range s.Ops {
@@ -163,12 +152,6 @@ func replay(s *Schedule, v variant) *replayResult {
 	}
 	r.probes(len(s.Ops) + 1)
 	return r.res
-}
-
-func (r *replayer) record() {
-	snap := r.g.Acquire()
-	r.snaps[snap.Version()] = snap
-	r.versions = append(r.versions, snap.Version())
 }
 
 // batches applies the variant's shuffle/split transforms to one insert
@@ -358,89 +341,8 @@ func (r *replayer) diverge(format string, args ...any) {
 // version the result reports. Materializing from the tree is the point:
 // a corrupted flat mirror cannot fool an oracle that never reads it.
 func (r *replayer) verify(obs *observation) {
-	where := fmt.Sprintf("%s: op %d %s src=%d v=%d", r.v.name, obs.op, obs.problem, obs.source, obs.version)
-	csr := r.csrAt(obs.version)
-	if csr == nil {
-		r.diverge("%s: result version not tracked", where)
-		return
+	if msg := r.verifyAt(obs.problem, obs.source, obs.version, obs.values, obs.counts); msg != "" {
+		r.diverge("%s: op %d %s src=%d v=%d: %s",
+			r.v.name, obs.op, obs.problem, obs.source, obs.version, msg)
 	}
-	if len(obs.values) != csr.N {
-		r.diverge("%s: %d values for %d vertices", where, len(obs.values), csr.N)
-		return
-	}
-	switch obs.problem {
-	case "SSNSP":
-		want := r.ssnspAt(obs.version, obs.source)
-		for x := range obs.values {
-			if obs.values[x] != want[0][x] {
-				r.diverge("%s: level[%d]=%d, oracle %d", where, x, obs.values[x], want[0][x])
-				return
-			}
-		}
-		for x := range obs.counts {
-			if obs.counts[x] != want[1][x] {
-				r.diverge("%s: count[%d]=%d, oracle %d", where, x, obs.counts[x], want[1][x])
-				return
-			}
-		}
-	case "CC":
-		want := r.ccAt(obs.version)
-		for x := range obs.values {
-			if obs.values[x] != want[x] {
-				r.diverge("%s: label[%d]=%d, oracle %d", where, x, obs.values[x], want[x])
-				return
-			}
-		}
-	case "PageRank":
-		want := r.prAt(obs.version)
-		for x := range obs.values {
-			got := math.Float64frombits(obs.values[x])
-			if math.Abs(got-want[x]) > prTolerance {
-				r.diverge("%s: rank[%d]=%g, oracle %g", where, x, got, want[x])
-				return
-			}
-		}
-	}
-}
-
-func (r *replayer) csrAt(ver uint64) *graph.CSR {
-	if c, ok := r.csrs[ver]; ok {
-		return c
-	}
-	snap, ok := r.snaps[ver]
-	if !ok {
-		return nil
-	}
-	c := snap.CSR(false)
-	r.csrs[ver] = c
-	return c
-}
-
-func (r *replayer) prAt(ver uint64) []float64 {
-	if v, ok := r.pr[ver]; ok {
-		return v
-	}
-	v := oracle.PageRank(r.csrAt(ver), 0.85, 100, 1e-9)
-	r.pr[ver] = v
-	return v
-}
-
-func (r *replayer) ccAt(ver uint64) []uint64 {
-	if v, ok := r.cc[ver]; ok {
-		return v
-	}
-	v := oracle.Components(r.csrAt(ver))
-	r.cc[ver] = v
-	return v
-}
-
-func (r *replayer) ssnspAt(ver uint64, src graph.VertexID) [2][]uint64 {
-	key := [2]uint64{ver, uint64(src)}
-	if v, ok := r.ssnsp[key]; ok {
-		return v
-	}
-	levels, counts := oracle.CountShortestPaths(r.csrAt(ver), src)
-	v := [2][]uint64{levels, counts}
-	r.ssnsp[key] = v
-	return v
 }

@@ -74,8 +74,15 @@ func (s *System) ApplyDeletionsCtx(ctx context.Context, batch []graph.Edge) (Bat
 				rep.StandingStats.Add(h.rebuild(view))
 			}
 		}
+		sr := s.refreshSubscriptions(view)
+		rep.Subscribers, rep.FramesSent, rep.FramesDropped, rep.RefreshElapsed =
+			sr.subscribers, sr.sent, sr.dropped, sr.elapsed
 	}
+	// With an empty changed list the graph content is identical, so
+	// subscribers have nothing to learn and cached answers are merely
+	// re-stamped to the new version (cacheAdvance handles both cases).
 	rep.StandingElapsed = time.Since(start)
+	s.cacheAdvance(changed, prevVersion(parent, snap), snap.Version())
 	s.advance(parent, snap)
 	return rep, nil
 }

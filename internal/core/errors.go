@@ -28,4 +28,9 @@ var (
 	// The concrete error also unwraps to the context cause
 	// (context.Canceled or context.DeadlineExceeded).
 	ErrCanceled = engine.ErrCanceled
+
+	// ErrSubscribeUnsupported: SubscribeCtx named a problem whose handler
+	// cannot batch-refresh subscriptions (Radii's width-16 answers do not
+	// fit the per-vertex delta frame model).
+	ErrSubscribeUnsupported = errors.New("problem does not support subscriptions")
 )

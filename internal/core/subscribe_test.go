@@ -1,0 +1,229 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"tripoline/internal/core"
+	"tripoline/internal/graph"
+)
+
+// subClient mirrors what a real subscriber does: apply each frame to a
+// local copy of the answer.
+type subClient struct {
+	values  []uint64
+	counts  []uint64
+	version uint64
+	frames  int
+}
+
+func (c *subClient) apply(t *testing.T, f core.ResultFrame) {
+	t.Helper()
+	c.frames++
+	switch f.Kind {
+	case "snapshot":
+		c.values = append([]uint64(nil), f.Values...)
+		c.counts = append([]uint64(nil), f.Counts...)
+	case "delta":
+		for _, d := range f.Changed {
+			for int(d.Vertex) >= len(c.values) {
+				c.values = append(c.values, 0)
+			}
+			c.values[d.Vertex] = d.Value
+		}
+		for _, d := range f.ChangedCounts {
+			for int(d.Vertex) >= len(c.counts) {
+				c.counts = append(c.counts, 0)
+			}
+			c.counts[d.Vertex] = d.Value
+		}
+	default:
+		t.Fatalf("unknown frame kind %q", f.Kind)
+	}
+	c.version = f.Version
+}
+
+func (c *subClient) drain(t *testing.T, sub *core.Subscription) {
+	t.Helper()
+	for {
+		select {
+		case f, ok := <-sub.Frames():
+			if !ok {
+				return
+			}
+			c.apply(t, f)
+		default:
+			return
+		}
+	}
+}
+
+// TestSubscribeSnapshotAndDeltas: the snapshot frame matches a fresh
+// query, and after each batch the applied deltas reproduce the current
+// exact answer.
+func TestSubscribeSnapshotAndDeltas(t *testing.T) {
+	for _, problem := range []string{"BFS", "SSSP", "SSNSP"} {
+		sys, _, edges := buildSystem(t, false, problem)
+		sub, err := sys.Subscribe(problem, 13, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := &subClient{}
+		client.drain(t, sub)
+		if client.frames != 1 {
+			t.Fatalf("%s: got %d initial frames, want snapshot", problem, client.frames)
+		}
+
+		for _, cut := range [][2]int{{1000, 1150}, {1150, 1400}} {
+			rep := sys.ApplyBatch(edges[cut[0]:cut[1]])
+			if rep.Subscribers != 1 || rep.FramesSent != 1 {
+				t.Fatalf("%s: batch report fan-out %+v", problem, rep)
+			}
+			client.drain(t, sub)
+			if client.version != rep.Version {
+				t.Fatalf("%s: client at version %d, batch published %d", problem, client.version, rep.Version)
+			}
+			want, err := sys.QueryFull(problem, 13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(client.values) != len(want.Values) {
+				t.Fatalf("%s: client has %d values, want %d", problem, len(client.values), len(want.Values))
+			}
+			for i := range want.Values {
+				if client.values[i] != want.Values[i] {
+					t.Fatalf("%s v%d: client value[%d] = %d, want %d",
+						problem, rep.Version, i, client.values[i], want.Values[i])
+				}
+			}
+			for i := range want.Counts {
+				if client.counts[i] != want.Counts[i] {
+					t.Fatalf("%s v%d: client count[%d] = %d, want %d",
+						problem, rep.Version, i, client.counts[i], want.Counts[i])
+				}
+			}
+		}
+		sys.Unsubscribe(sub)
+		if _, ok := <-sub.Frames(); ok {
+			t.Fatal("frame channel still open after Unsubscribe")
+		}
+		if sys.Subscribers() != 0 {
+			t.Fatal("subscriber still registered")
+		}
+	}
+}
+
+// TestSubscribeDeletionsRefresh: an ApplyDeletions that changes sources
+// also pushes a delta frame.
+func TestSubscribeDeletionsRefresh(t *testing.T) {
+	sys, _, edges := buildSystem(t, false, "BFS")
+	sys.ApplyBatch(edges[1000:1400])
+	sub, err := sys.Subscribe("BFS", 13, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Unsubscribe(sub)
+	client := &subClient{}
+	client.drain(t, sub)
+
+	rep := sys.ApplyDeletions(edges[:200])
+	if rep.ChangedSources == 0 {
+		t.Fatal("deletion batch changed nothing")
+	}
+	if rep.FramesSent != 1 {
+		t.Fatalf("deletion fan-out sent %d frames, want 1", rep.FramesSent)
+	}
+	client.drain(t, sub)
+	want, err := sys.QueryFull("BFS", 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Values {
+		if client.values[i] != want.Values[i] {
+			t.Fatalf("post-deletion client value[%d] = %d, want %d", i, client.values[i], want.Values[i])
+		}
+	}
+}
+
+// TestSubscribeSlowClientCumulativeDeltas: a full channel drops frames
+// without advancing the baseline, so the next delivered delta is
+// cumulative from the client's actual state.
+func TestSubscribeSlowClientCumulativeDeltas(t *testing.T) {
+	sys, _, edges := buildSystem(t, false, "BFS")
+	sub, err := sys.Subscribe("BFS", 13, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Unsubscribe(sub)
+
+	// The snapshot frame fills the size-1 buffer; these batches must drop
+	// their frames.
+	r1 := sys.ApplyBatch(edges[1000:1150])
+	r2 := sys.ApplyBatch(edges[1150:1300])
+	if r1.FramesDropped != 1 || r2.FramesDropped != 1 {
+		t.Fatalf("expected drops, got %+v %+v", r1, r2)
+	}
+	client := &subClient{}
+	client.drain(t, sub) // receives only the snapshot
+
+	rep := sys.ApplyBatch(edges[1300:1400])
+	client.drain(t, sub)
+	if client.version != rep.Version {
+		t.Fatalf("client at version %d, want %d", client.version, rep.Version)
+	}
+	want, err := sys.QueryFull("BFS", 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Values {
+		if client.values[i] != want.Values[i] {
+			t.Fatalf("cumulative delta wrong at %d: %d want %d", i, client.values[i], want.Values[i])
+		}
+	}
+}
+
+// TestSubscribeWholeGraph: PageRank and CC subscriptions push the shared
+// standing answer.
+func TestSubscribeWholeGraph(t *testing.T) {
+	for _, problem := range []string{"PageRank", "CC"} {
+		sys, _, edges := buildSystem(t, false, problem)
+		sub, err := sys.Subscribe(problem, 0, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := &subClient{}
+		client.drain(t, sub)
+		rep := sys.ApplyBatch(edges[1000:1400])
+		client.drain(t, sub)
+		want, err := sys.Query(problem, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if client.version != want.Version {
+			t.Fatalf("%s: client version %d, standing version %d (batch %d)",
+				problem, client.version, want.Version, rep.Version)
+		}
+		for i := range want.Values {
+			if client.values[i] != want.Values[i] {
+				t.Fatalf("%s: client value[%d] differs", problem, i)
+			}
+		}
+		sys.Unsubscribe(sub)
+	}
+}
+
+// TestSubscribeUnsupported: Radii rejects subscriptions with the typed
+// sentinel; unknown problems and out-of-range sources fail like queries.
+func TestSubscribeUnsupported(t *testing.T) {
+	sys, _, _ := buildSystem(t, false, "Radii")
+	if _, err := sys.Subscribe("Radii", 0, 0); !errors.Is(err, core.ErrSubscribeUnsupported) {
+		t.Fatalf("Radii subscribe err = %v, want ErrSubscribeUnsupported", err)
+	}
+	if _, err := sys.Subscribe("BFS", 0, 0); !errors.Is(err, core.ErrUnknownProblem) {
+		t.Fatalf("unknown problem err = %v", err)
+	}
+	sys2, _, _ := buildSystem(t, false, "BFS")
+	if _, err := sys2.Subscribe("BFS", graph.VertexID(1<<20), 0); !errors.Is(err, core.ErrSourceOutOfRange) {
+		t.Fatalf("out-of-range err = %v", err)
+	}
+}

@@ -80,6 +80,13 @@ type BatchReport struct {
 	StandingElapsed time.Duration
 	StandingStats   engine.Stats
 	Version         uint64
+	// Subscription fan-out for this batch: registered subscribers at
+	// refresh time, frames delivered, frames dropped on full channels,
+	// and the wall time of the fused refresh (zero with no subscribers).
+	Subscribers    int
+	FramesSent     int
+	FramesDropped  int
+	RefreshElapsed time.Duration
 }
 
 // handler is the per-problem strategy: simple triangle problems, Radii,
@@ -129,6 +136,14 @@ type System struct {
 	// never pair pre-deletion standing bounds (possibly too good) with a
 	// post-deletion snapshot.
 	stMu sync.RWMutex
+	// cache, when non-nil, is the Δ-result cache (see cache.go).
+	cache *resultCache
+	// subMu guards the subscription registry (see subscribe.go). Lock
+	// order: stMu before subMu — the writer refreshes subscriptions
+	// inside its exclusive window.
+	subMu  sync.Mutex
+	subs   map[uint64]*Subscription
+	subSeq uint64
 }
 
 // NewSystem wraps a streaming graph. k is the number of standing queries
@@ -373,8 +388,24 @@ func (s *System) ApplyBatchCtx(ctx context.Context, batch []graph.Edge) (BatchRe
 		rep.StandingStats.Add(s.handlers[name].update(view, changed))
 	}
 	rep.StandingElapsed = time.Since(start)
+	sr := s.refreshSubscriptions(view)
+	rep.Subscribers, rep.FramesSent, rep.FramesDropped, rep.RefreshElapsed =
+		sr.subscribers, sr.sent, sr.dropped, sr.elapsed
+	// Release cache pins before advance retires the parent mirror, so its
+	// slabs recycle immediately.
+	s.cacheAdvance(changed, prevVersion(parent, snap), snap.Version())
 	s.advance(parent, snap)
 	return rep, nil
+}
+
+// prevVersion is the version a mutation superseded. Without a parent
+// snapshot (nothing enabled yet) it degenerates to the new version,
+// which disables cache re-stamping — there is nothing cached to re-stamp.
+func prevVersion(parent, snap *streamgraph.Snapshot) uint64 {
+	if parent == nil {
+		return snap.Version()
+	}
+	return parent.Version()
 }
 
 // StandingMaintainTime returns the wall time of the named problem's most
@@ -425,7 +456,12 @@ func (s *System) QueryCtx(ctx context.Context, name string, u graph.VertexID) (*
 		return nil, err
 	}
 	s.observe(u)
-	return h.queryDelta(ctx, s, u)
+	res, err := h.queryDelta(ctx, s, u)
+	if err != nil {
+		return nil, err
+	}
+	s.cacheStore(res)
+	return res, nil
 }
 
 // QueryFull answers a user query with a from-scratch (non-incremental)

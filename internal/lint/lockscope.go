@@ -9,7 +9,10 @@ import (
 // Lockscope forbids holding an engine/core lock across an operation
 // that can block indefinitely: channel sends/receives, select, Wait
 // (sync.WaitGroup / sync.Cond), time.Sleep, and the system's query/
-// update entry points. The engine's three runtime activities execute
+// update entry points. A select with a default clause is exempt — it
+// cannot block by construction (the subscription fan-out's
+// lossy-delivery sends are the motivating case) — though its clause
+// bodies are still checked. The engine's three runtime activities execute
 // exclusively in series (§5); a lock held across a blocking operation
 // turns that serialization into a latent deadlock under the serving
 // layer's concurrency.
@@ -176,6 +179,20 @@ func (ls *lockState) checkExpr(node ast.Node, held map[string]token.Pos) {
 				ls.report(n.Pos(), "channel receive", held)
 			}
 		case *ast.SelectStmt:
+			// A select with a default clause cannot block: every comm
+			// clause is attempted without waiting and the default runs
+			// otherwise. Its sends/receives are therefore exempt, but the
+			// clause bodies still execute under the lock and are checked.
+			if selectHasDefault(n) {
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok {
+						for _, st := range cc.Body {
+							ls.checkExpr(st, held)
+						}
+					}
+				}
+				return false
+			}
 			ls.report(n.Pos(), "select", held)
 			return false
 		case *ast.CallExpr:
@@ -185,6 +202,17 @@ func (ls *lockState) checkExpr(node ast.Node, held map[string]token.Pos) {
 		}
 		return true
 	})
+}
+
+// selectHasDefault reports whether the select has a default clause
+// (making it non-blocking by construction).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // blockingCall classifies calls that can block indefinitely.

@@ -79,3 +79,40 @@ func (g *guarded) branchRelease(cond bool) {
 	}
 	g.mu.Unlock()
 }
+
+// --- legal 4: select with default cannot block -----------------------
+
+func (g *guarded) tryPush() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case g.ch <- g.n:
+		return true
+	default:
+		return false
+	}
+}
+
+// --- violation 5: blocking select (no default) under the lock --------
+
+func (g *guarded) waitPush() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "select while holding g.mu"
+	case g.ch <- g.n:
+	case v := <-g.ch:
+		g.n = v
+	}
+}
+
+// --- violation 6: non-blocking select whose clause body blocks -------
+
+func (g *guarded) tryThenSleep() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case g.ch <- g.n:
+		time.Sleep(time.Millisecond) // want "time.Sleep while holding g.mu"
+	default:
+	}
+}

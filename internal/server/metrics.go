@@ -1,6 +1,7 @@
 package server
 
 import (
+	"tripoline/internal/core"
 	"tripoline/internal/engine"
 	"tripoline/internal/metrics"
 )
@@ -24,10 +25,21 @@ type serverMetrics struct {
 	rejected           *metrics.Counter // 429s from the admission gate
 	canceled           *metrics.Counter // queries ended by deadline/disconnect
 	errors             *metrics.Counter // other 4xx/5xx responses
+	cacheHits          *metrics.Counter // queries served from the Δ-result cache
+	cacheStaleServed   *metrics.Counter // of which at a non-current version
+	subFrames          *metrics.Counter // subscription frames delivered
+	subDropped         *metrics.Counter // subscription frames dropped (slow client)
 	inflight           *metrics.Gauge   // requests currently executing
+	subscribers        *metrics.Gauge   // open subscription streams
 
 	queryLatency *metrics.Histogram // seconds, wall time incl. queueing
 	writeLatency *metrics.Histogram // seconds, batch/delete wall time
+	// fanoutFrames and fanoutSeconds describe each batch's subscription
+	// refresh: how many frames one advance produced, and what the fused
+	// width-K refresh cost — the per-batch serving price of the
+	// subscriber population. Observed only when subscribers exist.
+	fanoutFrames  *metrics.Histogram
+	fanoutSeconds *metrics.Histogram
 }
 
 func newServerMetrics(reg *metrics.Registry) *serverMetrics {
@@ -46,10 +58,30 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 		rejected:           reg.Counter("tripoline_rejected_total", "Requests refused 429 by the admission gate."),
 		canceled:           reg.Counter("tripoline_canceled_total", "Queries ended early by deadline or client disconnect."),
 		errors:             reg.Counter("tripoline_errors_total", "Requests answered with another 4xx/5xx status."),
+		cacheHits:          reg.Counter("tripoline_cache_hits_total", "Queries served from the Delta-result cache, bypassing the admission gate."),
+		cacheStaleServed:   reg.Counter("tripoline_cache_stale_served_total", "Cache hits served at a non-current version under stale=ok."),
+		subFrames:          reg.Counter("tripoline_subscribe_frames_total", "Subscription result frames delivered to clients."),
+		subDropped:         reg.Counter("tripoline_subscribe_dropped_total", "Subscription frames dropped because a client's buffer was full."),
 		inflight:           reg.Gauge("tripoline_inflight", "Requests currently executing."),
+		subscribers:        reg.Gauge("tripoline_subscribers", "Subscription streams currently open."),
 		queryLatency:       reg.Histogram("tripoline_query_seconds", "Query request latency in seconds.", metrics.DefBuckets),
 		writeLatency:       reg.Histogram("tripoline_write_seconds", "Batch/delete request latency in seconds.", metrics.DefBuckets),
+		fanoutFrames:       reg.Histogram("tripoline_subscribe_fanout_frames", "Result frames produced by one batch's subscription refresh.", []float64{1, 2, 5, 10, 25, 50, 100, 250, 1000}),
+		fanoutSeconds:      reg.Histogram("tripoline_subscribe_refresh_seconds", "Wall time of one batch's fused subscription refresh.", metrics.DefBuckets),
 	}
+}
+
+// observeFanout folds one batch report's subscription refresh into the
+// fan-out instruments. Batches with no subscribers are not observed —
+// the histograms describe the serving cost per fan-out, not per batch.
+func (m *serverMetrics) observeFanout(rep core.BatchReport) {
+	if rep.Subscribers == 0 {
+		return
+	}
+	m.subFrames.Add(int64(rep.FramesSent))
+	m.subDropped.Add(int64(rep.FramesDropped))
+	m.fanoutFrames.Observe(float64(rep.FramesSent))
+	m.fanoutSeconds.Observe(rep.RefreshElapsed.Seconds())
 }
 
 // observeEngine folds one query's engine statistics into the counters,

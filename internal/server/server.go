@@ -10,7 +10,9 @@
 //	GET  /v1/metrics                     Prometheus text exposition
 //	GET  /v1/query?problem=SSWP&source=5 one Δ-based user query
 //	GET  /v1/query?...&full=1            the non-incremental baseline
+//	GET  /v1/query?...&stale=ok          accept a cached past-version answer
 //	GET  /v1/queryat?version=3&...       query a retained past snapshot
+//	GET  /v1/subscribe?problem=P&src=5   push stream of result deltas (SSE)
 //	POST /v1/querymany {"problem":"SSSP","sources":[3,9]}
 //	POST /v1/batch   {"edges":[{"src":1,"dst":2,"w":3}, ...]}
 //	POST /v1/delete  {"edges":[...]}
@@ -25,8 +27,14 @@
 // waiting. An admission gate bounds the number of evaluations in flight
 // (a semaphore with a bounded wait queue; overflow is answered 429), and
 // Drain provides graceful shutdown: stop admitting, finish what is
-// running. Failures map to precise status codes via the core package's
-// sentinel errors.
+// running (open subscription streams get a goodbye event and close).
+//
+// When the system's Δ-result cache is enabled, /v1/query and /v1/queryat
+// consult it *before* the admission gate: a hit costs no evaluation
+// slot. Every error is a JSON envelope
+// {"error":{"code":"...","message":"..."}} whose code is one of
+// not_found, bad_request, canceled, deadline, draining, overloaded or
+// internal, mapped from the core package's sentinel errors.
 package server
 
 import (
@@ -67,9 +75,15 @@ type Server struct {
 
 	// draining flips once and permanently: new requests are refused with
 	// 503 while in-flight ones run out under the inflight WaitGroup.
+	// drainCh closes at the same flip so long-lived subscription streams
+	// (which are counted in inflight) notice and shut down promptly —
+	// without it Drain would wait on streams that have no reason to end.
 	drainMu  sync.Mutex
 	draining bool
+	drainCh  chan struct{}
 	inflight sync.WaitGroup
+
+	subBuffer int // per-subscription frame buffer (0 = core default)
 }
 
 // Option configures a Server (the same functional-option pattern as the
@@ -116,11 +130,18 @@ func WithMetrics(reg *metrics.Registry) Option {
 	return func(s *Server) { s.met = newServerMetrics(reg) }
 }
 
+// WithSubscriptionBuffer sets the per-subscription frame-channel
+// capacity (how many undelivered frames a slow client may pin before
+// refreshes skip it). n <= 0 keeps the core default.
+func WithSubscriptionBuffer(n int) Option {
+	return func(s *Server) { s.subBuffer = n }
+}
+
 // New wraps a system. The caller keeps ownership: batches may also be
 // applied directly as long as they are not concurrent with ServeHTTP
 // writes (use the server's endpoints once serving).
 func New(sys *core.System, g *streamgraph.Graph, opts ...Option) *Server {
-	s := &Server{sys: sys, g: g, mux: http.NewServeMux()}
+	s := &Server{sys: sys, g: g, mux: http.NewServeMux(), drainCh: make(chan struct{})}
 	for _, o := range opts {
 		o(s)
 	}
@@ -133,8 +154,9 @@ func New(sys *core.System, g *streamgraph.Graph, opts ...Option) *Server {
 	g.SetMirrorMetrics(streamgraph.RegisterMirrorMetrics(s.met.reg))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/query", s.lifecycle("query", s.queryTimeout, s.handleQuery))
-	s.mux.HandleFunc("GET /v1/queryat", s.lifecycle("query", s.queryTimeout, s.handleQueryAt))
+	s.mux.HandleFunc("GET /v1/query", s.cached(s.tryCachedQuery, s.lifecycle("query", s.queryTimeout, s.handleQuery)))
+	s.mux.HandleFunc("GET /v1/queryat", s.cached(s.tryCachedQueryAt, s.lifecycle("query", s.queryTimeout, s.handleQueryAt)))
+	s.mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("POST /v1/querymany", s.lifecycle("query", s.queryTimeout, s.handleQueryMany))
 	s.mux.HandleFunc("POST /v1/batch", s.lifecycle("write", s.writeTimeout, s.handleBatch))
 	s.mux.HandleFunc("POST /v1/delete", s.lifecycle("write", s.writeTimeout, s.handleDelete))
@@ -151,7 +173,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // latter case. It is idempotent; a drained server stays drained.
 func (s *Server) Drain(ctx context.Context) error {
 	s.drainMu.Lock()
-	s.draining = true
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh) // wake open subscription streams
+	}
 	s.drainMu.Unlock()
 	done := make(chan struct{})
 	go func() {
@@ -307,6 +332,10 @@ type batchResponse struct {
 	ChangedSources  int     `json:"changed_sources"`
 	Version         uint64  `json:"version"`
 	StandingSeconds float64 `json:"standing_seconds"`
+	// Subscription fan-out of this batch (omitted with no subscribers).
+	Subscribers int     `json:"subscribers,omitempty"`
+	FramesSent  int     `json:"frames_sent,omitempty"`
+	FanoutSecs  float64 `json:"fanout_seconds,omitempty"`
 }
 
 type statsResponse struct {
@@ -316,6 +345,10 @@ type statsResponse struct {
 	Directed bool           `json:"directed"`
 	Problems []string       `json:"problems"`
 	Metrics  map[string]any `json:"metrics"`
+	// Cache summarizes the Δ-result cache (all zero when disabled);
+	// Subscribers is the live subscription count.
+	Cache       core.CacheMetrics `json:"cache"`
+	Subscribers int               `json:"subscribers"`
 }
 
 type queryResponse struct {
@@ -334,10 +367,46 @@ type queryResponse struct {
 	Radius  uint64   `json:"radius,omitempty"`
 }
 
+// errEnvelope is the unified v1 error body: every non-2xx response from
+// a /v1/* endpoint carries exactly this shape, with a small closed set
+// of machine-readable codes so clients switch on code, never on message
+// text or HTTP nuance.
+type errEnvelope struct {
+	Error errDetail `json:"error"`
+}
+
+type errDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errCodeFor maps an HTTP status onto the envelope's code vocabulary.
+func errCodeFor(status int) string {
+	switch status {
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusBadRequest:
+		return "bad_request"
+	case StatusClientClosedRequest:
+		return "canceled"
+	case http.StatusGatewayTimeout:
+		return "deadline"
+	case http.StatusServiceUnavailable:
+		return "draining"
+	case http.StatusTooManyRequests:
+		return "overloaded"
+	default:
+		return "internal"
+	}
+}
+
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) int {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	_ = json.NewEncoder(w).Encode(errEnvelope{Error: errDetail{
+		Code:    errCodeFor(code),
+		Message: fmt.Sprintf(format, args...),
+	}})
 	return code
 }
 
@@ -350,12 +419,14 @@ func writeJSON(w http.ResponseWriter, v any) int {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.g.Acquire()
 	writeJSON(w, statsResponse{
-		Vertices: snap.NumVertices(),
-		Edges:    snap.NumEdges(),
-		Version:  snap.Version(),
-		Directed: s.g.Directed(),
-		Problems: s.sys.Enabled(),
-		Metrics:  s.met.reg.Snapshot(),
+		Vertices:    snap.NumVertices(),
+		Edges:       snap.NumEdges(),
+		Version:     snap.Version(),
+		Directed:    s.g.Directed(),
+		Problems:    s.sys.Enabled(),
+		Metrics:     s.met.reg.Snapshot(),
+		Cache:       s.sys.ResultCacheMetrics(),
+		Subscribers: s.sys.Subscribers(),
 	})
 }
 
@@ -389,6 +460,14 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 		s.met.queriesIncremental.Inc()
 	}
 	s.met.observeEngine(res.Stats)
+	return writeQueryResult(w, res)
+}
+
+// writeQueryResult writes the standard query body plus the
+// X-Tripoline-Version header (always matching the JSON version field, so
+// version-aware clients need not parse the body).
+func writeQueryResult(w http.ResponseWriter, res *core.QueryResult) int {
+	w.Header().Set("X-Tripoline-Version", strconv.FormatUint(res.Version, 10))
 	return writeJSON(w, queryResponse{
 		Problem:     res.Problem,
 		Source:      uint32(res.Source),
@@ -400,6 +479,84 @@ func (s *Server) handleQuery(ctx context.Context, w http.ResponseWriter, r *http
 		Counts:      res.Counts,
 		Radius:      res.Radius,
 	})
+}
+
+// cached wraps a query endpoint with its Δ-result-cache fast path: on a
+// hit the request bypasses the admission gate entirely — the whole point
+// of caching at user scale is that a hit costs an O(answer) copy, not an
+// evaluation slot. Draining still refuses the request (a drained server
+// serves nothing), and a miss falls through to the gated handler.
+func (s *Server) cached(try func(w http.ResponseWriter, r *http.Request) bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.isDraining() && try(w, r) {
+			return
+		}
+		h(w, r)
+	}
+}
+
+// tryCachedQuery serves /v1/query from the cache when the request's
+// freshness policy allows it: by default only an entry at the current
+// version hits; ?stale=ok accepts any retained version at or above
+// ?min_version. full=1 always bypasses the cache. Cached responses set
+// X-Tripoline-Cache: hit and X-Tripoline-Stale-Batches (the number of
+// graph-changing batches applied since the answer's version).
+func (s *Server) tryCachedQuery(w http.ResponseWriter, r *http.Request) bool {
+	q := r.URL.Query()
+	if q.Get("full") != "" {
+		return false
+	}
+	problem := q.Get("problem")
+	src, err := strconv.ParseUint(q.Get("source"), 10, 32)
+	if problem == "" || err != nil {
+		return false // let the real handler produce the 400
+	}
+	staleOK := q.Get("stale") == "ok"
+	var minVersion uint64
+	if mv := q.Get("min_version"); mv != "" {
+		minVersion, err = strconv.ParseUint(mv, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad ?min_version=%q", mv)
+			return true
+		}
+	}
+	res, stale, ok := s.sys.CachedQuery(problem, graph.VertexID(src), minVersion, staleOK)
+	if !ok {
+		return false
+	}
+	s.met.queries.Inc()
+	s.met.cacheHits.Inc()
+	if stale > 0 {
+		s.met.cacheStaleServed.Inc()
+	}
+	w.Header().Set("X-Tripoline-Cache", "hit")
+	w.Header().Set("X-Tripoline-Stale-Batches", strconv.FormatUint(stale, 10))
+	writeQueryResult(w, res)
+	return true
+}
+
+// tryCachedQueryAt serves /v1/queryat from the cache when an entry's
+// version matches the requested one exactly — an answer at version v is
+// exact at v forever, so this skips both the gate and the historical
+// re-evaluation.
+func (s *Server) tryCachedQueryAt(w http.ResponseWriter, r *http.Request) bool {
+	q := r.URL.Query()
+	problem := q.Get("problem")
+	src, errSrc := strconv.ParseUint(q.Get("source"), 10, 32)
+	version, errVer := strconv.ParseUint(q.Get("version"), 10, 64)
+	if problem == "" || errSrc != nil || errVer != nil {
+		return false
+	}
+	res, ok := s.sys.CachedQueryAt(problem, graph.VertexID(src), version)
+	if !ok {
+		return false
+	}
+	s.met.queries.Inc()
+	s.met.cacheHits.Inc()
+	w.Header().Set("X-Tripoline-Cache", "hit")
+	w.Header().Set("X-Tripoline-Stale-Batches", "0")
+	writeQueryResult(w, res)
+	return true
 }
 
 // handleQueryAt answers against a retained historical snapshot; the
@@ -422,17 +579,7 @@ func (s *Server) handleQueryAt(ctx context.Context, w http.ResponseWriter, r *ht
 		return writeErr(w, statusFor(err), "%v", err)
 	}
 	s.met.observeEngine(res.Stats)
-	return writeJSON(w, queryResponse{
-		Problem:     res.Problem,
-		Source:      uint32(res.Source),
-		Incremental: res.Incremental,
-		Seconds:     res.Elapsed.Seconds(),
-		Activations: res.Stats.Activations,
-		Version:     res.Version,
-		Values:      res.Values,
-		Counts:      res.Counts,
-		Radius:      res.Radius,
-	})
+	return writeQueryResult(w, res)
 }
 
 type queryManyRequest struct {
@@ -508,11 +655,15 @@ func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, r *http
 	}
 	s.met.batches.Inc()
 	s.met.batchEdges.Add(int64(rep.BatchEdges))
+	s.met.observeFanout(rep)
 	return writeJSON(w, batchResponse{
 		Applied:         rep.BatchEdges,
 		ChangedSources:  rep.ChangedSources,
 		Version:         rep.Version,
 		StandingSeconds: rep.StandingElapsed.Seconds(),
+		Subscribers:     rep.Subscribers,
+		FramesSent:      rep.FramesSent,
+		FanoutSecs:      rep.RefreshElapsed.Seconds(),
 	})
 }
 
@@ -529,10 +680,14 @@ func (s *Server) handleDelete(ctx context.Context, w http.ResponseWriter, r *htt
 	}
 	s.met.deletes.Inc()
 	s.met.batchEdges.Add(int64(rep.BatchEdges))
+	s.met.observeFanout(rep)
 	return writeJSON(w, batchResponse{
 		Applied:         rep.BatchEdges,
 		ChangedSources:  rep.ChangedSources,
 		Version:         rep.Version,
 		StandingSeconds: rep.StandingElapsed.Seconds(),
+		Subscribers:     rep.Subscribers,
+		FramesSent:      rep.FramesSent,
+		FanoutSecs:      rep.RefreshElapsed.Seconds(),
 	})
 }

@@ -157,16 +157,25 @@ func TestErrorResponses(t *testing.T) {
 		method, path string
 		body         any
 		wantCode     int
+		wantErrCode  string
 	}{
-		{"GET", "/v1/query?problem=BFS", nil, 400},                   // no source
-		{"GET", "/v1/query?problem=BFS&source=xyz", nil, 400},        // bad source
-		{"GET", "/v1/query?problem=BFS&source=5000", nil, 400},       // out of range
-		{"GET", "/v1/query?problem=SSSP&source=1", nil, 404},         // not enabled
-		{"GET", "/v1/query?source=1", nil, 400},                      // no problem
-		{"POST", "/v1/batch", map[string]any{"edges": []any{}}, 400}, // empty
+		{"GET", "/v1/query?problem=BFS", nil, 400, "bad_request"},                   // no source
+		{"GET", "/v1/query?problem=BFS&source=xyz", nil, 400, "bad_request"},        // bad source
+		{"GET", "/v1/query?problem=BFS&source=5000", nil, 400, "bad_request"},       // out of range
+		{"GET", "/v1/query?problem=SSSP&source=1", nil, 404, "not_found"},           // not enabled
+		{"GET", "/v1/query?source=1", nil, 400, "bad_request"},                      // no problem
+		{"GET", "/v1/queryat?problem=BFS&source=1&version=99", nil, 404, "not_found"},
+		{"GET", "/v1/subscribe?problem=BFS", nil, 400, "bad_request"},               // no src
+		{"GET", "/v1/subscribe?problem=Nope&src=1", nil, 404, "not_found"},          // not enabled
+		{"POST", "/v1/batch", map[string]any{"edges": []any{}}, 400, "bad_request"}, // empty
 	}
 	for _, c := range cases {
-		var out map[string]any
+		var out struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
 		var code int
 		if c.method == "GET" {
 			code = getJSON(t, ts.URL+c.path, &out)
@@ -176,8 +185,11 @@ func TestErrorResponses(t *testing.T) {
 		if code != c.wantCode {
 			t.Fatalf("%s %s: status %d, want %d", c.method, c.path, code, c.wantCode)
 		}
-		if out["error"] == "" {
-			t.Fatalf("%s %s: no error body", c.method, c.path)
+		if out.Error.Code != c.wantErrCode {
+			t.Fatalf("%s %s: envelope code %q, want %q", c.method, c.path, out.Error.Code, c.wantErrCode)
+		}
+		if out.Error.Message == "" {
+			t.Fatalf("%s %s: envelope has no message", c.method, c.path)
 		}
 	}
 }

@@ -66,6 +66,9 @@ var (
 	// unwraps to the context cause, so
 	// errors.Is(err, context.DeadlineExceeded) works.
 	ErrCanceled = core.ErrCanceled
+	// ErrSubscribeUnsupported reports a Subscribe on a problem whose
+	// answers do not fit the per-vertex delta frame model (Radii).
+	ErrSubscribeUnsupported = core.ErrSubscribeUnsupported
 )
 
 // VertexID identifies a vertex; IDs are dense starting at 0.
@@ -153,12 +156,41 @@ func LoadGraph(r io.Reader) (*Graph, error) {
 // Option configures a System.
 type Option func(*config)
 
-type config struct{ k int }
+type config struct {
+	k            int
+	history      int
+	record       bool
+	cacheEntries int
+	cacheOn      bool
+}
 
 // WithStandingQueries sets K, the number of standing queries maintained
 // per enabled problem (default 16, max 64).
 func WithStandingQueries(k int) Option {
 	return func(c *config) { c.k = k }
+}
+
+// WithHistory retains up to capacity past snapshots so QueryAt can
+// answer against earlier graph versions (time-travel queries). Purely
+// functional snapshots make retention nearly free.
+func WithHistory(capacity int) Option {
+	return func(c *config) { c.history = capacity }
+}
+
+// WithQueryRecording turns on recording of user-query sources into the
+// workload histogram consumed by ReselectRoots.
+func WithQueryRecording() Option {
+	return func(c *config) { c.record = true }
+}
+
+// WithResultCache enables the Δ-result cache: every answered user query
+// is retained (LRU, up to entries; <= 0 selects the default capacity)
+// keyed by problem and source and stamped with its snapshot version.
+// CachedQuery serves retained answers — exact for the version they
+// report — without any evaluation, and the HTTP layer uses the same
+// entries for its stale=ok / min_version serving policy.
+func WithResultCache(entries int) Option {
+	return func(c *config) { c.cacheEntries = entries; c.cacheOn = true }
 }
 
 // System couples a streaming graph with standing-query maintenance and
@@ -174,7 +206,17 @@ func NewSystem(g *Graph, opts ...Option) *System {
 	for _, o := range opts {
 		o(&c)
 	}
-	return &System{inner: core.NewSystem(g.inner, c.k), g: g}
+	s := &System{inner: core.NewSystem(g.inner, c.k), g: g}
+	if c.history > 0 {
+		s.inner.EnableHistory(c.history)
+	}
+	if c.record {
+		s.inner.RecordQueries(true)
+	}
+	if c.cacheOn {
+		s.inner.EnableResultCache(c.cacheEntries)
+	}
+	return s
 }
 
 // Graph returns the underlying streaming graph.
@@ -265,9 +307,10 @@ func (s *System) QueryManyCtx(ctx context.Context, problem string, sources []Ver
 	return s.inner.QueryManyCtx(ctx, problem, sources)
 }
 
-// EnableHistory retains up to capacity past snapshots so QueryAt can
-// answer against earlier graph versions (time-travel queries). Purely
-// functional snapshots make retention nearly free.
+// EnableHistory retains up to capacity past snapshots for QueryAt.
+//
+// Deprecated: pass WithHistory(capacity) to NewSystem instead; the
+// option form configures the system before any serving starts.
 func (s *System) EnableHistory(capacity int) { s.inner.EnableHistory(capacity) }
 
 // HistoryVersions lists the retained snapshot versions.
@@ -288,6 +331,9 @@ func (s *System) QueryAtCtx(ctx context.Context, version uint64, problem string,
 
 // RecordQueries toggles recording of user-query sources into a workload
 // histogram consumed by ReselectRoots.
+//
+// Deprecated: pass WithQueryRecording() to NewSystem instead; the option
+// form configures the system before any serving starts.
 func (s *System) RecordQueries(on bool) { s.inner.RecordQueries(on) }
 
 // ReselectRoots re-roots a problem's standing queries using the recorded
@@ -295,6 +341,56 @@ func (s *System) RecordQueries(on bool) { s.inner.RecordQueries(on) }
 // for workloads whose query hotspots drift. Without recorded history it
 // falls back to the top-degree rule.
 func (s *System) ReselectRoots(problem string) error { return s.inner.ReselectRoots(problem) }
+
+// CacheMetrics summarizes Δ-result cache activity.
+type CacheMetrics = core.CacheMetrics
+
+// CachedQuery serves a retained answer for (problem, source) when the
+// cache (WithResultCache) holds one satisfying the freshness policy: at
+// least minVersion, and — unless staleOK — at the current graph version.
+// The returned result is exact for the version it reports;
+// staleBatches counts the graph-changing batches applied since.
+func (s *System) CachedQuery(problem string, source VertexID, minVersion uint64, staleOK bool) (res *QueryResult, staleBatches uint64, ok bool) {
+	return s.inner.CachedQuery(problem, source, minVersion, staleOK)
+}
+
+// ResultCacheMetrics reports Δ-result cache activity (zero value when
+// the cache is not enabled).
+func (s *System) ResultCacheMetrics() CacheMetrics { return s.inner.ResultCacheMetrics() }
+
+// Subscription is a registered push stream over one (problem, source)
+// query; ResultFrame and VertexDelta are its wire types.
+type (
+	Subscription = core.Subscription
+	ResultFrame  = core.ResultFrame
+	VertexDelta  = core.VertexDelta
+)
+
+// Subscribe registers a continuously maintained answer for (problem,
+// source): the first frame on Subscription.Frames() is the full answer
+// (kind "snapshot"), and every subsequent ApplyBatch/ApplyDeletions
+// pushes the changed (vertex, value) pairs (kind "delta") computed by
+// one fused width-K refresh over all subscribed sources. buffer sets the
+// frame-channel capacity (<= 0 selects the default); a subscriber whose
+// buffer is full skips versions but every delivered frame is cumulative
+// from the client's last received state, so applying frames in order is
+// always exact. Call Unsubscribe when done.
+func (s *System) Subscribe(problem string, source VertexID, buffer int) (*Subscription, error) {
+	return s.inner.Subscribe(problem, source, buffer)
+}
+
+// SubscribeCtx is Subscribe with cooperative cancellation of the initial
+// snapshot evaluation (see QueryCtx).
+func (s *System) SubscribeCtx(ctx context.Context, problem string, source VertexID, buffer int) (*Subscription, error) {
+	return s.inner.SubscribeCtx(ctx, problem, source, buffer)
+}
+
+// Unsubscribe deregisters a subscription and closes its frame channel.
+// Idempotent.
+func (s *System) Unsubscribe(sub *Subscription) { s.inner.Unsubscribe(sub) }
+
+// Subscribers reports the number of registered subscriptions.
+func (s *System) Subscribers() int { return s.inner.Subscribers() }
 
 // FormatValue renders an encoded vertex value human-readably for the
 // named built-in problem (e.g. "dist 17", "width ∞", "unreachable").

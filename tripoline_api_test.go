@@ -251,3 +251,86 @@ func TestFacadeSnapshotIsolation(t *testing.T) {
 		t.Fatal("new snapshot missing edge")
 	}
 }
+
+// TestFacadeOptions covers the NewSystem option forms of history, query
+// recording and the Δ-result cache.
+func TestFacadeOptions(t *testing.T) {
+	g := tripoline.NewGraph(16, tripoline.Undirected)
+	g.InsertEdges(ringEdges(16, 1))
+	sys := tripoline.NewSystem(g,
+		tripoline.WithStandingQueries(2),
+		tripoline.WithHistory(4),
+		tripoline.WithQueryRecording(),
+		tripoline.WithResultCache(8),
+	)
+	if err := sys.Enable("BFS"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Query("BFS", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// WithResultCache: the answer is retained and servable.
+	cached, stale, ok := sys.CachedQuery("BFS", 5, 0, false)
+	if !ok || stale != 0 || cached.Version != res.Version {
+		t.Fatalf("cached query ok=%v stale=%d", ok, stale)
+	}
+	if m := sys.ResultCacheMetrics(); m.Hits != 1 || m.Entries != 1 {
+		t.Fatalf("cache metrics %+v", m)
+	}
+
+	// WithHistory: versions are recorded for QueryAt.
+	sys.ApplyBatch([]tripoline.Edge{{Src: 0, Dst: 8, W: 1}})
+	if len(sys.HistoryVersions()) == 0 {
+		t.Fatal("WithHistory recorded no versions")
+	}
+	at, err := sys.QueryAt(res.Version, "BFS", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Version != res.Version {
+		t.Fatalf("QueryAt version %d, want %d", at.Version, res.Version)
+	}
+
+	// WithQueryRecording: ReselectRoots consumes the recorded workload
+	// without error (it falls back to topology when the histogram is thin).
+	if err := sys.ReselectRoots("BFS"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeSubscribe drives a subscription end to end through the
+// facade: snapshot, delta after a batch, closed channel after
+// Unsubscribe.
+func TestFacadeSubscribe(t *testing.T) {
+	g := tripoline.NewGraph(16, tripoline.Undirected)
+	g.InsertEdges(ringEdges(16, 1))
+	sys := tripoline.NewSystem(g, tripoline.WithStandingQueries(2))
+	if err := sys.Enable("BFS"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := sys.Subscribe("BFS", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := <-sub.Frames()
+	if first.Kind != "snapshot" || len(first.Values) != 16 {
+		t.Fatalf("first frame %+v", first)
+	}
+	if sys.Subscribers() != 1 {
+		t.Fatal("subscriber not registered")
+	}
+	rep := sys.ApplyBatch([]tripoline.Edge{{Src: 3, Dst: 9, W: 1}})
+	if rep.FramesSent != 1 {
+		t.Fatalf("fan-out %+v", rep)
+	}
+	delta := <-sub.Frames()
+	if delta.Kind != "delta" || delta.Version != rep.Version {
+		t.Fatalf("delta frame %+v", delta)
+	}
+	sys.Unsubscribe(sub)
+	if _, ok := <-sub.Frames(); ok {
+		t.Fatal("frames channel open after Unsubscribe")
+	}
+}
