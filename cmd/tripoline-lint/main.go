@@ -1,15 +1,20 @@
-// Command tripoline-lint runs the project's five concurrency/lifecycle
-// analyzers (atomicmix, poolbalance, ctxflow, sentinelcmp, lockscope)
-// over the module using only the standard library's go/* packages.
+// Command tripoline-lint runs the project's seven concurrency/lifecycle
+// analyzers (atomicmix, poolbalance, ctxflow, sentinelcmp, lockscope,
+// refbalance, goroleak) over the module using only the standard
+// library's go/* packages.
 //
 // Usage:
 //
-//	tripoline-lint ./...          # whole module
+//	tripoline-lint ./...                        # whole module, all analyzers
 //	tripoline-lint ./internal/engine ./internal/core
 //	tripoline-lint -json ./...
+//	tripoline-lint -analyzers refbalance,goroleak ./...
+//	tripoline-lint -list                        # print the analyzer roster
 //
 // Exit status: 0 when no diagnostics, 1 when diagnostics were emitted,
-// 2 on load/usage errors. Diagnostics can be suppressed with
+// 2 on load/usage errors. Diagnostics print as
+// "file:line:col: [analyzer] message" (the analyzer name is also the
+// Analyzer field of each -json object) and can be suppressed with
 //
 //	//lint:ignore analyzer reason
 //
@@ -20,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,37 +34,58 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tripoline-lint [-json] ./... | dir [dir...]\n\nAnalyzers:\n")
+// run is main with its environment made explicit (args without the
+// program name, output streams) so the CLI test can drive it in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tripoline-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	subset := fs.String("analyzers", "", "comma-separated analyzer subset to run (default: all)")
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tripoline-lint [-json] [-analyzers a,b] [-list] ./... | dir [dir...]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
-			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
-	flag.Parse()
-	patterns := flag.Args()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*subset)
+	if err != nil {
+		fmt.Fprintf(stderr, "tripoline-lint: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
 	if len(patterns) == 0 {
-		flag.Usage()
+		fs.Usage()
 		return 2
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tripoline-lint: %v\n", err)
+		fmt.Fprintf(stderr, "tripoline-lint: %v\n", err)
 		return 2
 	}
 	modRoot, err := lint.FindModuleRoot(cwd)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tripoline-lint: %v\n", err)
+		fmt.Fprintf(stderr, "tripoline-lint: %v\n", err)
 		return 2
 	}
 	loader, err := lint.NewLoader(modRoot)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tripoline-lint: %v\n", err)
+		fmt.Fprintf(stderr, "tripoline-lint: %v\n", err)
 		return 2
 	}
 
@@ -68,7 +95,7 @@ func run() int {
 		case pat == "./..." || pat == "...":
 			loaded, err := loader.LoadAll()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "tripoline-lint: %v\n", err)
+				fmt.Fprintf(stderr, "tripoline-lint: %v\n", err)
 				return 2
 			}
 			pkgs = append(pkgs, loaded...)
@@ -79,7 +106,7 @@ func run() int {
 			}
 			rel, err := filepath.Rel(modRoot, dir)
 			if err != nil || strings.HasPrefix(rel, "..") {
-				fmt.Fprintf(os.Stderr, "tripoline-lint: %s is outside the module\n", pat)
+				fmt.Fprintf(stderr, "tripoline-lint: %s is outside the module\n", pat)
 				return 2
 			}
 			asPath := loader.ModPath
@@ -88,33 +115,65 @@ func run() int {
 			}
 			pkg, err := loader.LoadDir(dir, asPath)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "tripoline-lint: %s: %v\n", pat, err)
+				fmt.Fprintf(stderr, "tripoline-lint: %s: %v\n", pat, err)
 				return 2
 			}
 			pkgs = append(pkgs, pkg)
 		}
 	}
 
-	diags := lint.Run(loader.Fset, pkgs, lint.All())
+	diags := lint.Run(loader.Fset, pkgs, analyzers)
 	lint.Relativize(diags, cwd)
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}
 		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintf(os.Stderr, "tripoline-lint: %v\n", err)
+			fmt.Fprintf(stderr, "tripoline-lint: %v\n", err)
 			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d.String())
+			fmt.Fprintln(stdout, d.String())
 		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "tripoline-lint: %d diagnostic(s)\n", len(diags))
+		fmt.Fprintf(stderr, "tripoline-lint: %d diagnostic(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// selectAnalyzers resolves the -analyzers flag against the registered
+// suite; an empty spec selects everything, an unknown name is a usage
+// error listing the roster.
+func selectAnalyzers(spec string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if spec == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	var names []string
+	for _, a := range all {
+		byName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	var picked []*lint.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, strings.Join(names, ", "))
+		}
+		picked = append(picked, a)
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("-analyzers %q selects nothing", spec)
+	}
+	return picked, nil
 }

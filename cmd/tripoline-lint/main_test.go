@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tripoline/internal/lint"
+)
+
+// corpus is the refbalance golden corpus, reached from this package's
+// test working directory; it carries known violations, making it a
+// stable fixture for exit codes and output shapes.
+const corpus = "../../internal/lint/testdata/src/refbalance"
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestListFlag: -list prints every registered analyzer and exits 0.
+func TestListFlag(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, a := range lint.All() {
+		if !strings.Contains(stdout, a.Name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", a.Name, stdout)
+		}
+	}
+	if n := len(lint.All()); n != 7 {
+		t.Errorf("analyzer roster has %d entries, want 7", n)
+	}
+}
+
+// TestAnalyzerSubset: -analyzers runs only the named analyzers — the
+// refbalance corpus trips refbalance but is clean under goroleak — and
+// the text output carries the analyzer name.
+func TestAnalyzerSubset(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-analyzers", "refbalance", corpus)
+	if code != 1 {
+		t.Fatalf("refbalance over its corpus: exit = %d (stderr %q), want 1", code, stderr)
+	}
+	if !strings.Contains(stdout, "[refbalance]") {
+		t.Errorf("text output missing [refbalance] tag:\n%s", stdout)
+	}
+
+	code, stdout, stderr = runCLI(t, "-analyzers", "goroleak", corpus)
+	if code != 0 {
+		t.Fatalf("goroleak over refbalance corpus: exit = %d, stdout %q stderr %q, want 0 (subset must exclude refbalance)", code, stdout, stderr)
+	}
+}
+
+// TestJSONCarriesAnalyzer: each -json object names its analyzer.
+func TestJSONCarriesAnalyzer(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-json", "-analyzers", "refbalance", corpus)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("parsing -json output: %v\n%s", err, stdout)
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics in -json output")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "refbalance" {
+			t.Errorf("diagnostic %s has Analyzer %q, want refbalance", d.File, d.Analyzer)
+		}
+	}
+}
+
+// TestUnknownAnalyzer: a bad -analyzers name is a usage error (2) that
+// lists the roster.
+func TestUnknownAnalyzer(t *testing.T) {
+	code, _, stderr := runCLI(t, "-analyzers", "nope", corpus)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown analyzer") || !strings.Contains(stderr, "refbalance") {
+		t.Errorf("stderr should name the bad analyzer and the roster:\n%s", stderr)
+	}
+}

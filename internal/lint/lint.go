@@ -54,7 +54,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Atomicmix, Poolbalance, Ctxflow, Sentinelcmp, Lockscope}
+	return []*Analyzer{Atomicmix, Poolbalance, Ctxflow, Sentinelcmp, Lockscope, Refbalance, Goroleak}
 }
 
 // Run executes the analyzers over pkgs, applies //lint:ignore

@@ -21,6 +21,14 @@
 //   - sentinelcmp: sentinel errors must be matched with errors.Is, not ==
 //   - lockscope:   engine/core locks must not be held across calls that
 //     can block indefinitely (channel ops, Wait, query entry points)
+//   - refbalance:  every successful Flat.Retain() and every received
+//     release-func must be discharged on all paths — released, returned,
+//     stored into a tracked teardown field, or waived behind an err
+//     guard — checked interprocedurally via the per-function ownership
+//     summaries of summary.go
+//   - goroleak:    every go statement that can block forever on a
+//     channel op needs an escape edge (ctx.Done()/closed-channel arm,
+//     default case, timer arm, or buffered hand-off channel)
 //
 // Diagnostics print as "file:line:col: [analyzer] message"; a
 // machine-readable -json mode and mandatory-reason
@@ -31,12 +39,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -215,6 +225,9 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !defaultBuildIncludes(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
@@ -235,6 +248,51 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	p := &Package{Path: path, Dir: dir, Files: files, Pkg: tpkg, Info: info}
 	l.pkgs[path] = p
 	return p, nil
+}
+
+// defaultBuildIncludes reports whether f's //go:build constraint (if
+// any) is satisfied by the default build configuration — current
+// GOOS/GOARCH, every go1.x release tag, and no custom tags. Files gated
+// behind project tags (e.g. the tripoline_ledger refcount ledger) are
+// skipped, and their !tag counterparts kept, exactly as `go build` with
+// no -tags would select; without this, a tag-split pair of files would
+// double-define its symbols and break type-checking.
+func defaultBuildIncludes(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: keep the file, let vet complain
+			}
+			if !expr.Eval(defaultBuildTag) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// defaultBuildTag is the tag-truth function of the default build: OS,
+// architecture, the unix umbrella tag, and release tags are true;
+// custom tags are false.
+func defaultBuildTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris", "aix", "dragonfly":
+			return true
+		}
+		return false
+	}
+	return tag == "go1" || strings.HasPrefix(tag, "go1.")
 }
 
 // loaderImporter adapts Loader to types.Importer: module-internal paths

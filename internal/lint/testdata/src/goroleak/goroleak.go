@@ -1,0 +1,104 @@
+// Package goroleak is the golden corpus for the goroleak analyzer:
+// launched goroutines whose channel operations lack an escape edge are
+// leaks; the recognized escapes are ctx.Done()/timer/closed-channel
+// select arms, default clauses, and locally buffered hand-off channels.
+package goroleak
+
+import (
+	"context"
+	"time"
+)
+
+func work() int { return 1 }
+
+// ---------------------------------------------------------------- violations
+
+// leakSend parks forever when nobody receives.
+func leakSend(ch chan int) {
+	go func() { // want "block forever"
+		ch <- work()
+	}()
+}
+
+// leakRecv selects only over channels nothing closes or cancels.
+func leakRecv(a, b chan int) {
+	go func() { // want "block forever"
+		select {
+		case <-a:
+		case <-b:
+		}
+	}()
+}
+
+// leakRange ranges a channel the module never closes.
+func leakRange(ch chan int) {
+	go func() { // want "block forever"
+		for range ch {
+		}
+	}()
+}
+
+// drain blocks on a bare receive; launching it leaks, and the Blocks
+// summary pins the report on the go statement.
+func drain(ch chan int) {
+	<-ch
+}
+
+func leakNamed(ch chan int) {
+	go drain(ch) // want "can block forever"
+}
+
+// --------------------------------------------------------------------- legal
+
+// legalHandoff sends into a locally made buffered channel: the send
+// completes even if the reader has moved on.
+func legalHandoff() int {
+	errCh := make(chan int, 1)
+	go func() {
+		errCh <- work()
+	}()
+	return <-errCh
+}
+
+// legalCtx has a cancellation arm.
+func legalCtx(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// legalClosed receives from a channel the module closes at shutdown:
+// the close is the wake-up edge.
+var done = make(chan struct{})
+
+func shutdown() { close(done) }
+
+func legalClosed() {
+	go func() {
+		<-done
+	}()
+}
+
+// legalDefault is a non-blocking poll (the subscriber fan-out idiom).
+func legalDefault(ch chan int) {
+	go func() {
+		select {
+		case v := <-ch:
+			_ = v
+		default:
+		}
+	}()
+}
+
+// legalTimer bounds the wait with a timer channel.
+func legalTimer(ch chan int) {
+	go func() {
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+		}
+	}()
+}

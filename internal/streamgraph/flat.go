@@ -99,6 +99,7 @@ func (s *Snapshot) RetireFlat() {
 		return
 	}
 	if s.flatRetired.CompareAndSwap(false, true) {
+		ledgerRetire(s.flat)
 		s.flat.Release()
 	}
 }
@@ -185,6 +186,7 @@ func buildFlat(s *Snapshot) *Flat {
 	f := &Flat{off: off, adj: adj, wgt: wgt, n: n, version: s.version,
 		shared: sh, offs: offs, arcs: arcs}
 	f.refs.Store(1)
+	ledgerBuilt(f)
 	return f
 }
 
@@ -334,6 +336,7 @@ func buildFlatFrom(s *Snapshot, prev *Flat, changed []graph.VertexID) *Flat {
 	f := &Flat{off: off, adj: adj, wgt: wgt, n: n, version: s.version,
 		shared: sh, offs: offs, arcs: arcs}
 	f.refs.Store(1)
+	ledgerBuilt(f)
 	if sh.seam.skewDelta.Load() {
 		skewFlat(f, chg)
 	}
@@ -365,6 +368,7 @@ func (f *Flat) Retain() bool {
 			return false
 		}
 		if f.refs.CompareAndSwap(old, old+1) {
+			ledgerRetain(f)
 			return true
 		}
 	}
@@ -374,6 +378,7 @@ func (f *Flat) Retain() bool {
 // Snapshot.RetireFlat). The last release returns the backing slabs to
 // the recycler and poisons the mirror's slices.
 func (f *Flat) Release() {
+	ledgerRelease(f)
 	switch r := f.refs.Add(-1); {
 	case r == 0:
 		f.recycle()

@@ -1,0 +1,27 @@
+package streamgraph_test
+
+import (
+	"testing"
+
+	"tripoline/internal/gen"
+	"tripoline/internal/streamgraph"
+)
+
+// BenchmarkRetainRelease prices one pin/unpin pair on a live mirror. It
+// compiles in both build flavors; comparing `go test -bench` against
+// `go test -tags tripoline_ledger -bench` shows the ledger's cost, and
+// the untagged number must match the pre-ledger baseline (the hooks are
+// empty functions that inline away).
+func BenchmarkRetainRelease(b *testing.B) {
+	cfg := gen.Config{Name: "bench-pin", LogN: 10, AvgDegree: 8, Directed: true, Seed: 5}
+	g := streamgraph.FromEdges(cfg.N(), gen.RMAT(cfg), true)
+	f := g.Acquire().Flatten()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.Retain() {
+			b.Fatal("Retain failed on live mirror")
+		}
+		f.Release()
+	}
+}

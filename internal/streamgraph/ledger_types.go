@@ -1,0 +1,14 @@
+package streamgraph
+
+// LedgerLeak is one mirror with outstanding reader pins at report time,
+// as accounted by the tripoline_ledger build (see ledger.go).
+type LedgerLeak struct {
+	Version uint64   // snapshot version the mirror was built from
+	Pins    int64    // reader pins beyond any un-retired owner reference
+	Sites   []string // net outstanding Retain call sites, "file:line (count)"
+}
+
+// LedgerEnabled reports whether this build carries the refcount ledger
+// (-tags tripoline_ledger). Tests that assert on LedgerReport contents
+// gate themselves on it.
+func LedgerEnabled() bool { return ledgerOn }
