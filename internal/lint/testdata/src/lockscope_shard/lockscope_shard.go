@@ -1,0 +1,41 @@
+// Package shard is the golden-test corpus for the lockscope analyzer's
+// sharded-router scope: the rule keys on the engine/core/shard package
+// names, so a lock held across a blocking operation here must be
+// diagnosed exactly as it would be in the engine.
+package shard
+
+import "sync"
+
+type router struct {
+	mu  sync.Mutex
+	tok chan struct{}
+}
+
+// --- violation: acquiring the admission token under a mutex ----------
+
+func (r *router) admitLocked() {
+	r.mu.Lock()
+	r.tok <- struct{}{} // want "channel send while holding r.mu"
+	r.mu.Unlock()
+}
+
+// --- ok: token acquired outside any critical section -----------------
+
+func (r *router) admitUnlocked() {
+	r.tok <- struct{}{}
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// --- ok: select with a default clause cannot block -------------------
+
+func (r *router) tryAdmitLocked() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case r.tok <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}

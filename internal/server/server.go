@@ -50,6 +50,7 @@ import (
 	"tripoline/internal/core"
 	"tripoline/internal/graph"
 	"tripoline/internal/metrics"
+	"tripoline/internal/shard"
 	"tripoline/internal/streamgraph"
 )
 
@@ -57,10 +58,51 @@ import (
 // reported when a query was abandoned because the client went away.
 const StatusClientClosedRequest = 499
 
+// backend is the serving surface the HTTP layer needs — the method set
+// shared by an unsharded core.System (wrapped with its graph for the
+// stats accessors) and a sharded shard.Router. Every handler goes
+// through this interface, so the endpoints behave identically over one
+// core or S hash-partitioned ones.
+type backend interface {
+	Enabled() []string
+	NumVertices() int
+	NumEdges() int64
+	Version() uint64
+	Directed() bool
+	QueryCtx(ctx context.Context, problem string, u graph.VertexID) (*core.QueryResult, error)
+	QueryFullCtx(ctx context.Context, problem string, u graph.VertexID) (*core.QueryResult, error)
+	QueryAtCtx(ctx context.Context, version uint64, problem string, u graph.VertexID) (*core.QueryResult, error)
+	QueryManyCtx(ctx context.Context, problem string, sources []graph.VertexID) (*core.MultiResult, error)
+	ApplyBatchCtx(ctx context.Context, batch []graph.Edge) (core.BatchReport, error)
+	ApplyDeletionsCtx(ctx context.Context, batch []graph.Edge) (core.BatchReport, error)
+	CachedQuery(problem string, u graph.VertexID, minVersion uint64, staleOK bool) (*core.QueryResult, uint64, bool)
+	CachedQueryAt(problem string, u graph.VertexID, version uint64) (*core.QueryResult, bool)
+	SubscribeCtx(ctx context.Context, problem string, u graph.VertexID, buffer int) (*core.Subscription, error)
+	Unsubscribe(sub *core.Subscription)
+	Subscribers() int
+	ResultCacheMetrics() core.CacheMetrics
+	SetMirrorMetrics(m *streamgraph.MirrorMetrics)
+}
+
+// coreBackend adapts the unsharded pair (core.System, its graph) to the
+// backend interface; the graph supplies the topology accessors the
+// system doesn't carry.
+type coreBackend struct {
+	*core.System
+	g *streamgraph.Graph
+}
+
+func (b coreBackend) NumVertices() int { return b.g.Acquire().NumVertices() }
+func (b coreBackend) NumEdges() int64  { return b.g.Acquire().NumEdges() }
+func (b coreBackend) Version() uint64  { return b.g.Acquire().Version() }
+func (b coreBackend) Directed() bool   { return b.g.Directed() }
+
+func (b coreBackend) SetMirrorMetrics(m *streamgraph.MirrorMetrics) { b.g.SetMirrorMetrics(m) }
+
 // Server is the HTTP front end over one Tripoline system.
 type Server struct {
-	sys *core.System
-	g   *streamgraph.Graph
+	sys    backend
+	shards int // 1 for an unsharded backend
 
 	// writeMu serializes graph mutations; queries need no lock (they
 	// operate on acquired snapshots and read-only standing arrays, which
@@ -141,7 +183,21 @@ func WithSubscriptionBuffer(n int) Option {
 // applied directly as long as they are not concurrent with ServeHTTP
 // writes (use the server's endpoints once serving).
 func New(sys *core.System, g *streamgraph.Graph, opts ...Option) *Server {
-	s := &Server{sys: sys, g: g, mux: http.NewServeMux(), drainCh: make(chan struct{})}
+	return newServer(coreBackend{System: sys, g: g}, 1, nil, opts)
+}
+
+// NewSharded serves a shard.Router: the same endpoints, answered by
+// scatter/gather over the router's hash-partitioned cores. The router's
+// per-shard counters (tripoline_shard_*) are registered into the server
+// registry, and one shared mirror-metrics instrument is fanned out to
+// every shard's graph so /v1/stats and /v1/metrics report mirror and
+// cache activity aggregated across all shards.
+func NewSharded(r *shard.Router, opts ...Option) *Server {
+	return newServer(r, r.Shards(), r.SetMetrics, opts)
+}
+
+func newServer(be backend, shards int, shardMetrics func(*shard.Metrics), opts []Option) *Server {
+	s := &Server{sys: be, shards: shards, mux: http.NewServeMux(), drainCh: make(chan struct{})}
 	for _, o := range opts {
 		o(s)
 	}
@@ -150,8 +206,13 @@ func New(sys *core.System, g *streamgraph.Graph, opts ...Option) *Server {
 	}
 	// Route the graph's mirror-maintenance instruments (delta vs. full
 	// builds, bytes copied vs. walked, slab recycler traffic) into the
-	// server registry so they surface in /v1/stats and /v1/metrics.
-	g.SetMirrorMetrics(streamgraph.RegisterMirrorMetrics(s.met.reg))
+	// server registry so they surface in /v1/stats and /v1/metrics. A
+	// sharded backend fans the same instrument out to every shard's
+	// graph, so the counters aggregate across shards by construction.
+	s.sys.SetMirrorMetrics(streamgraph.RegisterMirrorMetrics(s.met.reg))
+	if shardMetrics != nil {
+		shardMetrics(shard.RegisterMetrics(s.met.reg))
+	}
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/query", s.cached(s.tryCachedQuery, s.lifecycle("query", s.queryTimeout, s.handleQuery)))
@@ -339,10 +400,15 @@ type batchResponse struct {
 }
 
 type statsResponse struct {
-	Vertices int            `json:"vertices"`
-	Edges    int64          `json:"edges"`
-	Version  uint64         `json:"version"`
-	Directed bool           `json:"directed"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	Version  uint64 `json:"version"`
+	Directed bool   `json:"directed"`
+	// Shards is the number of partitioned cores serving this system (1
+	// when unsharded); with shards > 1 the metrics map carries the
+	// tripoline_shard_* counters and the mirror/cache figures aggregate
+	// over all shards.
+	Shards   int            `json:"shards"`
 	Problems []string       `json:"problems"`
 	Metrics  map[string]any `json:"metrics"`
 	// Cache summarizes the Δ-result cache (all zero when disabled);
@@ -417,12 +483,12 @@ func writeJSON(w http.ResponseWriter, v any) int {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	snap := s.g.Acquire()
 	writeJSON(w, statsResponse{
-		Vertices:    snap.NumVertices(),
-		Edges:       snap.NumEdges(),
-		Version:     snap.Version(),
-		Directed:    s.g.Directed(),
+		Vertices:    s.sys.NumVertices(),
+		Edges:       s.sys.NumEdges(),
+		Version:     s.sys.Version(),
+		Directed:    s.sys.Directed(),
+		Shards:      s.shards,
 		Problems:    s.sys.Enabled(),
 		Metrics:     s.met.reg.Snapshot(),
 		Cache:       s.sys.ResultCacheMetrics(),

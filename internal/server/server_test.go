@@ -159,11 +159,11 @@ func TestErrorResponses(t *testing.T) {
 		wantCode     int
 		wantErrCode  string
 	}{
-		{"GET", "/v1/query?problem=BFS", nil, 400, "bad_request"},                   // no source
-		{"GET", "/v1/query?problem=BFS&source=xyz", nil, 400, "bad_request"},        // bad source
-		{"GET", "/v1/query?problem=BFS&source=5000", nil, 400, "bad_request"},       // out of range
-		{"GET", "/v1/query?problem=SSSP&source=1", nil, 404, "not_found"},           // not enabled
-		{"GET", "/v1/query?source=1", nil, 400, "bad_request"},                      // no problem
+		{"GET", "/v1/query?problem=BFS", nil, 400, "bad_request"},             // no source
+		{"GET", "/v1/query?problem=BFS&source=xyz", nil, 400, "bad_request"},  // bad source
+		{"GET", "/v1/query?problem=BFS&source=5000", nil, 400, "bad_request"}, // out of range
+		{"GET", "/v1/query?problem=SSSP&source=1", nil, 404, "not_found"},     // not enabled
+		{"GET", "/v1/query?source=1", nil, 400, "bad_request"},                // no problem
 		{"GET", "/v1/queryat?problem=BFS&source=1&version=99", nil, 404, "not_found"},
 		{"GET", "/v1/subscribe?problem=BFS", nil, 400, "bad_request"},               // no src
 		{"GET", "/v1/subscribe?problem=Nope&src=1", nil, 404, "not_found"},          // not enabled

@@ -1,0 +1,175 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"tripoline/internal/graph"
+)
+
+// TestBarrierRaceQueryAtDuringAdvance is the snapshot-barrier race test
+// (run under -race in CI): readers repeatedly re-evaluate a pinned old
+// global version while a writer advances the shards at deliberately
+// different rates — every batch targets a single shard, so the version
+// vector grows maximally unevenly while the global version ticks by one
+// each time. The pinned answer must stay bit-identical throughout: the
+// barrier entry's per-shard snapshot vector is immutable once published,
+// so no amount of concurrent advancement may bleed into it.
+func TestBarrierRaceQueryAtDuringAdvance(t *testing.T) {
+	const n = 200
+	r := New(n, true, 4, 4)
+	if err := r.Enable("SSSP"); err != nil {
+		t.Fatal(err)
+	}
+	r.EnableHistory(256)
+
+	// Seed every shard with a connected backbone plus chords.
+	var seedBatch []graph.Edge
+	for v := 0; v < n-1; v++ {
+		seedBatch = append(seedBatch, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID(v + 1), W: 2})
+	}
+	for v := 0; v < n; v += 7 {
+		seedBatch = append(seedBatch, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID((v * 13) % n), W: 3})
+	}
+	r.ApplyBatch(seedBatch)
+
+	// Pin the current global version and capture reference answers.
+	pinned := r.Version()
+	sources := []graph.VertexID{0, 17, 99, 150}
+	want := make(map[graph.VertexID][]uint64)
+	for _, u := range sources {
+		res, err := r.QueryAt(pinned, "SSSP", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[u] = append([]uint64(nil), res.Values...)
+	}
+
+	// singleShardBatch builds a batch whose every edge is owned by one
+	// shard (directed routing owns by source), so applying it advances
+	// exactly one slot of the version vector.
+	singleShardBatch := func(shard, round int) []graph.Edge {
+		var b []graph.Edge
+		for v := 0; v < n && len(b) < 12; v++ {
+			u := graph.VertexID(v)
+			if int(mix64(uint64(u))%4) != shard {
+				continue
+			}
+			b = append(b, graph.Edge{Src: u, Dst: graph.VertexID((v + round + 2) % n), W: graph.Weight(1 + round%4)})
+		}
+		return b
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writer: shard 0 advances 6x as often as shard 3.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		rates := []int{6, 3, 2, 1}
+		for round := 0; round < 8; round++ {
+			for s, rate := range rates {
+				for k := 0; k < rate; k++ {
+					if b := singleShardBatch(s, round*8+k); len(b) > 0 {
+						r.ApplyBatch(b)
+					}
+				}
+			}
+		}
+	}()
+	// Readers: hammer the pinned version (and the live one) concurrently.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					if i > 0 {
+						return
+					}
+				default:
+				}
+				u := sources[(w+i)%len(sources)]
+				res, err := r.QueryAt(pinned, "SSSP", u)
+				if err != nil {
+					t.Errorf("reader %d: QueryAt(%d): %v", w, pinned, err)
+					return
+				}
+				for v := range want[u] {
+					if res.Values[v] != want[u][v] {
+						t.Errorf("reader %d: pinned v%d src %d drifted at vertex %d", w, pinned, u, v)
+						return
+					}
+				}
+				if _, err := r.Query("SSSP", u); err != nil {
+					t.Errorf("reader %d: live query: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// After the dust settles the pinned version must still answer
+	// identically, and the vector must really have advanced unevenly.
+	for _, u := range sources {
+		res, err := r.QueryAt(pinned, "SSSP", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want[u] {
+			if res.Values[v] != want[u][v] {
+				t.Fatalf("post-race: pinned v%d src %d drifted at vertex %d", pinned, u, v)
+			}
+		}
+	}
+	e := r.bar.latest()
+	uneven := false
+	for i := 1; i < len(e.vec); i++ {
+		if e.vec[i] != e.vec[0] {
+			uneven = true
+		}
+	}
+	if !uneven {
+		t.Fatalf("version vector advanced in lockstep (%v); the test lost its point", e.vec)
+	}
+}
+
+// TestBarrierConcurrentAppliers races multiple writers through the
+// admission token: batches serialize, every global version is distinct,
+// and the final edge count equals the union of what was applied.
+func TestBarrierConcurrentAppliers(t *testing.T) {
+	const n = 120
+	r := New(n, false, 3, 4)
+	if err := r.Enable("BFS"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	versions := make([][]uint64, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				src := graph.VertexID((w*29 + i*11) % n)
+				rep := r.ApplyBatch([]graph.Edge{{Src: src, Dst: graph.VertexID((int(src) + 1 + w) % n), W: 1}})
+				versions[w] = append(versions[w], rep.Version)
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, vs := range versions {
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("version %d reported twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if got := r.Version(); got != 40 {
+		t.Fatalf("final version %d, want 40", got)
+	}
+}

@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"container/list"
+	"sync"
+
+	"tripoline/internal/core"
+	"tripoline/internal/graph"
+)
+
+// routerCache is the sharded analogue of core's Δ-result cache: answers
+// keyed by (problem, source), stamped with the *global* version they
+// were computed at. The serving policy (stale=ok / min_version) and the
+// empty-changed re-stamp are identical to core's so the serving layer
+// behaves the same against either backend. Unlike core's cache it never
+// pins shard mirrors — a gathered answer is assembled from S views and
+// pinning all of them across the entry's lifetime would block S slab
+// recyclers for marginal benefit — so Pinned is always 0 and the ledger
+// sees no obligations from cached entries.
+type routerCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used; values are *routerCacheEntry
+	entries map[routerCacheKey]*list.Element
+	// batches counts mutations that actually changed the union graph
+	// (non-empty merged changed list); the staleness denominator.
+	batches uint64
+
+	hits, staleServed, misses, evictions, restamps uint64
+}
+
+type routerCacheKey struct {
+	problem string
+	source  graph.VertexID
+}
+
+type routerCacheEntry struct {
+	key        routerCacheKey
+	res        core.QueryResult // cache-owned copies of Values/Counts
+	batchStamp uint64
+}
+
+func newRouterCache(capacity int) *routerCache {
+	if capacity <= 0 {
+		capacity = core.DefaultCacheEntries
+	}
+	return &routerCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[routerCacheKey]*list.Element, capacity),
+	}
+}
+
+func (c *routerCache) put(res *core.QueryResult) {
+	key := routerCacheKey{problem: res.Problem, source: res.Source}
+	e := &routerCacheEntry{key: key}
+	e.res = core.QueryResult{
+		Problem:     res.Problem,
+		Source:      res.Source,
+		Values:      append([]uint64(nil), res.Values...),
+		Width:       res.Width,
+		Counts:      append([]uint64(nil), res.Counts...),
+		Radius:      res.Radius,
+		Incremental: res.Incremental,
+		Version:     res.Version,
+	}
+	c.mu.Lock()
+	e.batchStamp = c.batches
+	if old, ok := c.entries[key]; ok {
+		old.Value = e
+		c.ll.MoveToFront(old)
+	} else {
+		c.entries[key] = c.ll.PushFront(e)
+		for c.ll.Len() > c.cap {
+			back := c.ll.Back()
+			be := back.Value.(*routerCacheEntry)
+			c.ll.Remove(back)
+			delete(c.entries, be.key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *routerCache) get(problem string, u graph.VertexID, minVersion uint64, staleOK bool, curVersion uint64) (*core.QueryResult, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[routerCacheKey{problem: problem, source: u}]
+	if !found {
+		c.misses++
+		return nil, 0, false
+	}
+	e := el.Value.(*routerCacheEntry)
+	if e.res.Version < minVersion || (!staleOK && e.res.Version != curVersion) {
+		c.misses++
+		return nil, 0, false
+	}
+	c.ll.MoveToFront(el)
+	stale := c.batches - e.batchStamp
+	c.hits++
+	if e.res.Version != curVersion {
+		c.staleServed++
+	}
+	return copyCached(&e.res), stale, true
+}
+
+func (c *routerCache) getAt(problem string, u graph.VertexID, version uint64) (*core.QueryResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[routerCacheKey{problem: problem, source: u}]
+	if !found || el.Value.(*routerCacheEntry).res.Version != version {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*routerCacheEntry)
+	c.ll.MoveToFront(el)
+	c.hits++
+	return copyCached(&e.res), true
+}
+
+// advance mirrors core's cacheAdvance: an empty merged changed list
+// means the union graph content is identical across the version step, so
+// entries exact at prevVersion are re-stamped to newVersion for free;
+// a non-empty list advances the staleness counter instead.
+func (c *routerCache) advance(changed []graph.VertexID, prevVersion, newVersion uint64) {
+	c.mu.Lock()
+	if len(changed) == 0 {
+		for el := c.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*routerCacheEntry)
+			if e.res.Version == prevVersion && prevVersion < newVersion {
+				e.res.Version = newVersion
+				c.restamps++
+			}
+		}
+	} else {
+		c.batches++
+	}
+	c.mu.Unlock()
+}
+
+func (c *routerCache) metrics() core.CacheMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return core.CacheMetrics{
+		Entries:     c.ll.Len(),
+		Capacity:    c.cap,
+		Hits:        c.hits,
+		StaleServed: c.staleServed,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Restamps:    c.restamps,
+		Pinned:      0,
+	}
+}
+
+func copyCached(r *core.QueryResult) *core.QueryResult {
+	out := *r
+	out.Values = append([]uint64(nil), r.Values...)
+	out.Counts = append([]uint64(nil), r.Counts...)
+	return &out
+}

@@ -1,0 +1,578 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"tripoline/internal/core"
+	"tripoline/internal/engine"
+	"tripoline/internal/graph"
+	"tripoline/internal/props"
+)
+
+// Query paths of the sharded router. All of them evaluate against one
+// barrier entry — a pinned per-shard snapshot vector — never against
+// "whatever each shard has right now", so a result's Version names a
+// coherent cut of the partitioned graph.
+//
+// Vertex-specific problems run scatter/gather rounds over one shared
+// value array: each round runs every shard's push kernel concurrently
+// against the same CAS-relaxed values (the hand-built interleaved
+// State layout selects the atomic legacy/width-1 kernels, so the only
+// cross-goroutine memory is touched atomically), then the gather step
+// diffs the array against its pre-round copy to build the next
+// cross-shard frontier. Rounds repeat until no value moves. Because
+// every problem relaxes monotonically from a sound initialization, the
+// rounds converge to the same unique fixpoint a single-system
+// evaluation reaches — bit-identical for the integer problems.
+//
+// Incremental (Δ-based) initialization merges each shard's best
+// standing bound via core.System.DeltaMergeInto. The merged array is
+// sound (each shard's subgraph properties are never better than the
+// union's) but NOT triangle-consistent for the union — shard A's bound
+// at x may beat anything shard B's arcs into x can derive — so seeding
+// only the query source would strand improvements. Instead every vertex
+// whose merged init differs from InitValue is seeded, plus the source
+// itself: each seeded vertex then re-derives its neighborhood through
+// the union's arcs, and the chain of triangle inequalities from the
+// source restores exactness.
+
+// Query answers a user query with Δ-based incremental evaluation,
+// gathered across shards.
+func (r *Router) Query(name string, u graph.VertexID) (*core.QueryResult, error) {
+	return r.QueryCtx(context.Background(), name, u)
+}
+
+// QueryCtx is Query with cooperative cancellation (checked every engine
+// superstep in every shard; the first canceled shard run aborts the
+// gather).
+func (r *Router) QueryCtx(ctx context.Context, name string, u graph.VertexID) (*core.QueryResult, error) {
+	if r.single() {
+		return r.shards[0].QueryCtx(ctx, name, u)
+	}
+	kind, ok := r.kinds[name]
+	if !ok {
+		return nil, fmt.Errorf("shard: problem %q not enabled: %w", name, core.ErrUnknownProblem)
+	}
+	e := r.bar.latest()
+	if err := checkSource(u, e); err != nil {
+		return nil, err
+	}
+	var (
+		res *core.QueryResult
+		err error
+	)
+	switch kind {
+	case kindSimple:
+		res, err = r.querySimple(ctx, e, name, u)
+	case kindRadii:
+		res, err = r.queryRadii(ctx, e, u)
+	case kindSSNSP:
+		res, err = r.querySSNSP(ctx, e, u)
+	case kindPageRank:
+		res, err = r.queryPageRank(u), nil
+	case kindCC:
+		res, err = r.queryCC(u), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if r.cache != nil {
+		r.cache.put(res)
+	}
+	return res, nil
+}
+
+// QueryFull answers a user query with a from-scratch evaluation over the
+// union graph — the non-incremental baseline.
+func (r *Router) QueryFull(name string, u graph.VertexID) (*core.QueryResult, error) {
+	return r.QueryFullCtx(context.Background(), name, u)
+}
+
+// QueryFullCtx is QueryFull with cooperative cancellation.
+func (r *Router) QueryFullCtx(ctx context.Context, name string, u graph.VertexID) (*core.QueryResult, error) {
+	if r.single() {
+		return r.shards[0].QueryFullCtx(ctx, name, u)
+	}
+	kind, ok := r.kinds[name]
+	if !ok {
+		return nil, fmt.Errorf("shard: problem %q not enabled: %w", name, core.ErrUnknownProblem)
+	}
+	e := r.bar.latest()
+	if err := checkSource(u, e); err != nil {
+		return nil, err
+	}
+	return r.fullAt(ctx, kind, name, e, u)
+}
+
+// QueryAt answers a user query against the retained barrier entry with
+// the given global version, via full evaluation (standing state tracks
+// only the latest version, so Δ-initialization is invalid for older
+// cuts — same reasoning as core's history path).
+func (r *Router) QueryAt(version uint64, problem string, u graph.VertexID) (*core.QueryResult, error) {
+	return r.QueryAtCtx(context.Background(), version, problem, u)
+}
+
+// QueryAtCtx is QueryAt with cooperative cancellation.
+func (r *Router) QueryAtCtx(ctx context.Context, version uint64, problem string, u graph.VertexID) (*core.QueryResult, error) {
+	if r.single() {
+		return r.shards[0].QueryAtCtx(ctx, version, problem, u)
+	}
+	if !r.histOn {
+		return nil, fmt.Errorf("shard: history not enabled: %w", core.ErrNoSuchVersion)
+	}
+	e, ok := r.bar.at(version)
+	if !ok {
+		return nil, fmt.Errorf("shard: version %d not retained (have %v): %w",
+			version, r.bar.versions(), core.ErrNoSuchVersion)
+	}
+	kind, ok := r.kinds[problem]
+	if !ok {
+		return nil, fmt.Errorf("shard: problem %q not enabled: %w", problem, core.ErrUnknownProblem)
+	}
+	// In range for the queried version's union — the graph may have grown
+	// since.
+	if int(u) >= e.n {
+		return nil, fmt.Errorf("shard: source %d out of range (version %d has %d vertices): %w",
+			u, version, e.n, core.ErrSourceOutOfRange)
+	}
+	// fullAt stamps e.global, which IS the requested version.
+	return r.fullAt(ctx, kind, problem, e, u)
+}
+
+// QueryMany evaluates up to 64 same-problem user queries in one batched
+// scatter/gather evaluation (simple problems only, like core).
+func (r *Router) QueryMany(problem string, sources []graph.VertexID) (*core.MultiResult, error) {
+	return r.QueryManyCtx(context.Background(), problem, sources)
+}
+
+// QueryManyCtx is QueryMany with cooperative cancellation.
+func (r *Router) QueryManyCtx(ctx context.Context, problem string, sources []graph.VertexID) (*core.MultiResult, error) {
+	if r.single() {
+		return r.shards[0].QueryManyCtx(ctx, problem, sources)
+	}
+	kind, ok := r.kinds[problem]
+	if !ok {
+		return nil, fmt.Errorf("shard: problem %q not enabled: %w", problem, core.ErrUnknownProblem)
+	}
+	if kind != kindSimple {
+		return nil, fmt.Errorf("shard: problem %q does not support batched user queries", problem)
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("shard: no sources")
+	}
+	if len(sources) > 64 {
+		return nil, fmt.Errorf("shard: at most 64 queries per batch (got %d)", len(sources))
+	}
+	e := r.bar.latest()
+	for _, u := range sources {
+		if err := checkSource(u, e); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	p := r.probs[problem]
+	w := len(sources)
+	n := e.n
+	vals := makeInit(n*w, p.InitValue())
+	col := make([]uint64, n)
+	for j, src := range sources {
+		if err := ctx.Err(); err != nil {
+			return nil, &engine.CanceledError{Cause: err}
+		}
+		fillInit(col, p.InitValue())
+		r.mergeDelta(problem, src, e, col)
+		col[src] = p.SourceValue()
+		for v := 0; v < n; v++ {
+			vals[v*w+j] = col[v]
+		}
+	}
+	st := &engine.State{P: p, K: w, N: n, Values: vals}
+	seeds, masks := seedsFromInit(vals, w, p.InitValue(), sources)
+	stats, err := r.runRounds(ctx, e, st, seeds, masks, w)
+	if err != nil {
+		return nil, err
+	}
+	// Slots/PropURs stay zero: with S independent standing sets there is
+	// no single chosen root per query (each shard merged its own). The
+	// values themselves are what QueryMany guarantees.
+	return &core.MultiResult{
+		Problem: problem, Sources: sources,
+		Values: st.Values, Width: w,
+		Stats:   stats,
+		Slots:   make([]int, w),
+		PropURs: make([]uint64, w),
+		Elapsed: time.Since(start),
+		Version: e.global,
+	}, nil
+}
+
+// ---------------------------------------------------------------------
+// Per-kind incremental paths.
+
+// mergeDelta folds every shard's best standing Δ-bound for (problem, u)
+// at the entry's pinned version into init, reporting whether any shard
+// contributed. A shard whose standing state has moved past (or not yet
+// reached) its pinned version fails DeltaMergeInto's gate and simply
+// contributes nothing — sound, just a weaker initialization.
+func (r *Router) mergeDelta(problem string, u graph.VertexID, e *entry, init []uint64) bool {
+	any := false
+	for i, sys := range r.shards {
+		if _, _, ok := sys.DeltaMergeInto(problem, u, e.vec[i], init); ok {
+			any = true
+		}
+	}
+	return any
+}
+
+func (r *Router) querySimple(ctx context.Context, e *entry, name string, u graph.VertexID) (*core.QueryResult, error) {
+	start := time.Now()
+	p := r.probs[name]
+	n := e.n
+	init := makeInit(n, p.InitValue())
+	incremental := r.mergeDelta(name, u, e, init)
+	init[u] = p.SourceValue()
+	st := &engine.State{P: p, K: 1, N: n, Values: init}
+	seeds, masks := seedsFromInit(init, 1, p.InitValue(), []graph.VertexID{u})
+	stats, err := r.runRounds(ctx, e, st, seeds, masks, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &core.QueryResult{
+		Problem: name, Source: u,
+		Values: st.Values, Width: 1,
+		Stats: stats, Elapsed: time.Since(start),
+		Incremental: incremental,
+		Version:     e.global,
+	}, nil
+}
+
+func (r *Router) queryRadii(ctx context.Context, e *entry, u graph.VertexID) (*core.QueryResult, error) {
+	start := time.Now()
+	n := e.n
+	sources := core.RadiiSources(u, n)
+	w := len(sources)
+	p := props.SSSP{}
+	vals := makeInit(n*w, p.InitValue())
+	col := make([]uint64, n)
+	incremental := false
+	for j, src := range sources {
+		if err := ctx.Err(); err != nil {
+			return nil, &engine.CanceledError{Cause: err}
+		}
+		fillInit(col, p.InitValue())
+		if r.mergeDelta("SSSP", src, e, col) {
+			incremental = true
+		}
+		col[src] = p.SourceValue()
+		for v := 0; v < n; v++ {
+			vals[v*w+j] = col[v]
+		}
+	}
+	st := &engine.State{P: p, K: w, N: n, Values: vals}
+	seeds, masks := seedsFromInit(vals, w, p.InitValue(), sources)
+	stats, err := r.runRounds(ctx, e, st, seeds, masks, w)
+	if err != nil {
+		return nil, err
+	}
+	return &core.QueryResult{
+		Problem: "Radii", Source: u,
+		Values: st.Values, Width: w,
+		Radius: props.RadiiEstimate(st.Values, n, w),
+		Stats:  stats, Elapsed: time.Since(start),
+		Incremental: incremental,
+		Version:     e.global,
+	}, nil
+}
+
+func (r *Router) querySSNSP(ctx context.Context, e *entry, u graph.VertexID) (*core.QueryResult, error) {
+	start := time.Now()
+	p := props.BFS{}
+	n := e.n
+	init := makeInit(n, p.InitValue())
+	incremental := r.mergeDelta("BFS", u, e, init)
+	initCopy := append([]uint64(nil), init...)
+	init[u] = p.SourceValue()
+	st := &engine.State{P: p, K: 1, N: n, Values: init}
+	seeds, masks := seedsFromInit(init, 1, p.InitValue(), []graph.VertexID{u})
+	stats, err := r.runRounds(ctx, e, st, seeds, masks, 1)
+	if err != nil {
+		return nil, err
+	}
+	// The counting round is an exact per-level sweep — integer sums over
+	// arcs, order-independent, so it runs once over the tree-backed union
+	// rather than per shard.
+	counts := props.CountShortestPaths(treeUnion(e), u, st.Values)
+	res := &core.QueryResult{
+		Problem: "SSNSP", Source: u,
+		Values: st.Values, Width: 1, Counts: counts,
+		Stats: stats, Elapsed: time.Since(start),
+		Incremental: incremental,
+		Version:     e.global,
+	}
+	_ = props.PredicateRate(initCopy, st.Values) // predicate satisfaction is per-shard telemetry; not reported here
+	return res, nil
+}
+
+func (r *Router) queryPageRank(u graph.VertexID) *core.QueryResult {
+	// Answered instantly from the router-maintained standing ranks; the
+	// reported version is the global version the ranks converged at,
+	// which can trail the latest while a mutation is in flight.
+	r.wgMu.RLock()
+	vals := make([]uint64, len(r.prRanks))
+	for i, rank := range r.prRanks {
+		vals[i] = floatBits(rank)
+	}
+	v := r.prVersion
+	r.wgMu.RUnlock()
+	return &core.QueryResult{Problem: "PageRank", Source: u, Values: vals, Width: 1,
+		Incremental: true, Version: v}
+}
+
+func (r *Router) queryCC(u graph.VertexID) *core.QueryResult {
+	r.wgMu.RLock()
+	vals := append([]uint64(nil), r.ccSt.Values...)
+	v := r.ccVersion
+	r.wgMu.RUnlock()
+	return &core.QueryResult{Problem: "CC", Source: u, Values: vals, Width: 1,
+		Incremental: true, Version: v}
+}
+
+// ---------------------------------------------------------------------
+// Full (non-incremental) evaluation against one barrier entry, shared by
+// QueryFull and QueryAt. The result's Version is the entry's global
+// version.
+
+func (r *Router) fullAt(ctx context.Context, kind problemKind, name string, e *entry, u graph.VertexID) (*core.QueryResult, error) {
+	start := time.Now()
+	switch kind {
+	case kindSimple, kindSSNSP:
+		var p engine.Problem
+		if kind == kindSSNSP {
+			p = props.BFS{}
+		} else {
+			p = r.probs[name]
+		}
+		n := e.n
+		init := makeInit(n, p.InitValue())
+		init[u] = p.SourceValue()
+		st := &engine.State{P: p, K: 1, N: n, Values: init}
+		stats, err := r.runRounds(ctx, e, st, []graph.VertexID{u}, []uint64{1}, 1)
+		if err != nil {
+			return nil, err
+		}
+		res := &core.QueryResult{
+			Problem: name, Source: u,
+			Values: st.Values, Width: 1,
+			Stats: stats, Elapsed: time.Since(start),
+			Version: e.global,
+		}
+		if kind == kindSSNSP {
+			res.Counts = props.CountShortestPaths(treeUnion(e), u, st.Values)
+		}
+		return res, nil
+	case kindRadii:
+		n := e.n
+		sources := core.RadiiSources(u, n)
+		w := len(sources)
+		p := props.SSSP{}
+		vals := makeInit(n*w, p.InitValue())
+		for j, src := range sources {
+			vals[int(src)*w+j] = p.SourceValue()
+		}
+		st := &engine.State{P: p, K: w, N: n, Values: vals}
+		seeds, masks := sourceSeedMasks(sources)
+		stats, err := r.runRounds(ctx, e, st, seeds, masks, w)
+		if err != nil {
+			return nil, err
+		}
+		return &core.QueryResult{
+			Problem: "Radii", Source: u,
+			Values: st.Values, Width: w,
+			Radius: props.RadiiEstimate(st.Values, n, w),
+			Stats:  stats, Elapsed: time.Since(start),
+			Version: e.global,
+		}, nil
+	case kindPageRank:
+		res, err := props.PageRankCtx(ctx, treeUnion(e), 0.85, 100, 1e-9)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]uint64, len(res.Ranks))
+		for i, rank := range res.Ranks {
+			vals[i] = floatBits(rank)
+		}
+		return &core.QueryResult{Problem: "PageRank", Source: u, Values: vals, Width: 1,
+			Stats: engine.Stats{Iterations: res.Iterations}, Elapsed: time.Since(start),
+			Version: e.global}, nil
+	case kindCC:
+		st, stats, err := props.ConnectedComponentsCtx(ctx, treeUnion(e))
+		if err != nil {
+			return nil, err
+		}
+		return &core.QueryResult{Problem: "CC", Source: u,
+			Values: append([]uint64(nil), st.Values...), Width: 1,
+			Stats: stats, Elapsed: time.Since(start),
+			Version: e.global}, nil
+	}
+	return nil, fmt.Errorf("shard: problem %q not enabled: %w", name, core.ErrUnknownProblem)
+}
+
+// ---------------------------------------------------------------------
+// Scatter/gather rounds.
+
+// runRounds drives one query's value array to the union fixpoint. Each
+// round scatters the current frontier to every shard — all shards run
+// their push kernels concurrently against the shared state, each over
+// its own pinned flat (or tree) view — then gathers by diffing the
+// values against the pre-round copy: any vertex that moved becomes next
+// round's frontier, in every shard (its new value must be re-offered
+// across arcs the improving shard does not own). Monotone relaxation
+// over a finite lattice terminates with an empty diff.
+func (r *Router) runRounds(ctx context.Context, e *entry, st *engine.State, seeds []graph.VertexID, masks []uint64, w int) (engine.Stats, error) {
+	var total engine.Stats
+	prev := make([]uint64, len(st.Values))
+	type scatterRep struct {
+		stats engine.Stats
+		err   error
+	}
+	// Indexed slice writes + WaitGroup instead of a result channel: each
+	// scatter goroutine owns exactly reps[i], so the join is race-free and
+	// nothing can park on a channel (goroleak-certified by construction).
+	reps := make([]scatterRep, r.s)
+	for len(seeds) > 0 {
+		copy(prev, st.Values)
+		var wg sync.WaitGroup
+		for i := 0; i < r.s; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				view, release := pinShardView(e.snaps[i])
+				defer release()
+				// Only this shard's in-range seeds: a vertex born after an
+				// insertion that grew a different shard does not exist here,
+				// and the engine sizes its scratch by the view.
+				ns := view.NumVertices()
+				ss := make([]graph.VertexID, 0, len(seeds))
+				ms := make([]uint64, 0, len(seeds))
+				for k, v := range seeds {
+					if int(v) < ns {
+						ss = append(ss, v)
+						ms = append(ms, masks[k])
+					}
+				}
+				if len(ss) == 0 {
+					reps[i] = scatterRep{}
+					return
+				}
+				stats, err := st.RunPushCtx(ctx, view, ss, ms)
+				reps[i] = scatterRep{stats: stats, err: err}
+			}(i)
+		}
+		wg.Wait()
+		var firstErr error
+		for i := 0; i < r.s; i++ {
+			total.Add(reps[i].stats)
+			if reps[i].err != nil && firstErr == nil {
+				firstErr = reps[i].err
+			}
+		}
+		if firstErr != nil {
+			return total, firstErr
+		}
+		r.met.noteScatter(r.s)
+		mStart := time.Now()
+		seeds, masks = diffSeeds(prev, st.Values, w)
+		r.met.noteMerge(time.Since(mStart))
+	}
+	return total, nil
+}
+
+// diffSeeds builds the next cross-shard frontier: vertex v carries slot
+// j's bit when its slot-j value moved during the round.
+func diffSeeds(prev, cur []uint64, w int) ([]graph.VertexID, []uint64) {
+	var (
+		seeds []graph.VertexID
+		masks []uint64
+	)
+	n := len(cur) / w
+	for v := 0; v < n; v++ {
+		var m uint64
+		for j := 0; j < w; j++ {
+			if cur[v*w+j] != prev[v*w+j] {
+				m |= 1 << uint(j)
+			}
+		}
+		if m != 0 {
+			seeds = append(seeds, graph.VertexID(v))
+			masks = append(masks, m)
+		}
+	}
+	return seeds, masks
+}
+
+// seedsFromInit builds the first frontier of an incremental run: every
+// vertex whose merged init differs from InitValue in any slot (the
+// cross-shard merge is not triangle-consistent, so all of them must
+// re-offer their bounds), with each query's source bit OR-ed in
+// explicitly — a source whose SourceValue equals InitValue would
+// otherwise never be seeded.
+func seedsFromInit(init []uint64, w int, initVal uint64, sources []graph.VertexID) ([]graph.VertexID, []uint64) {
+	srcMask := make(map[graph.VertexID]uint64, len(sources))
+	for j, s := range sources {
+		srcMask[s] |= 1 << uint(j)
+	}
+	var (
+		seeds []graph.VertexID
+		masks []uint64
+	)
+	n := len(init) / w
+	for v := 0; v < n; v++ {
+		m := srcMask[graph.VertexID(v)]
+		for j := 0; j < w; j++ {
+			if init[v*w+j] != initVal {
+				m |= 1 << uint(j)
+			}
+		}
+		if m != 0 {
+			seeds = append(seeds, graph.VertexID(v))
+			masks = append(masks, m)
+		}
+	}
+	return seeds, masks
+}
+
+// sourceSeedMasks folds duplicate sources into combined slot masks (the
+// full-evaluation analogue of core's sourceSeeds).
+func sourceSeedMasks(sources []graph.VertexID) ([]graph.VertexID, []uint64) {
+	seeds := make([]graph.VertexID, 0, len(sources))
+	masks := make([]uint64, 0, len(sources))
+	index := make(map[graph.VertexID]int, len(sources))
+	for k, s := range sources {
+		if i, ok := index[s]; ok {
+			masks[i] |= 1 << uint(k)
+			continue
+		}
+		index[s] = len(seeds)
+		seeds = append(seeds, s)
+		masks = append(masks, 1<<uint(k))
+	}
+	return seeds, masks
+}
+
+func makeInit(n int, v uint64) []uint64 {
+	out := make([]uint64, n)
+	fillInit(out, v)
+	return out
+}
+
+func fillInit(dst []uint64, v uint64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }

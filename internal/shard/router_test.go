@@ -1,0 +1,344 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tripoline/internal/core"
+	"tripoline/internal/graph"
+	"tripoline/internal/streamgraph"
+)
+
+// The router's contract is exactness: S>1 must answer every query with
+// the same values a single core.System produces over the same logical
+// graph at the same version — bit-identical for the integer problems,
+// within PageRank's convergence tolerance for the float one.
+
+const prTol = 1e-6
+
+var allProblems = []string{"BFS", "SSSP", "SSWP", "SSNP", "Viterbi", "SSR", "Radii", "SSNSP", "PageRank", "CC"}
+
+func randBatch(rng *rand.Rand, n, m int) []graph.Edge {
+	out := make([]graph.Edge, m)
+	for i := range out {
+		out[i] = graph.Edge{
+			Src: graph.VertexID(rng.Intn(n)),
+			Dst: graph.VertexID(rng.Intn(n)),
+			W:   graph.Weight(1 + rng.Intn(9)),
+		}
+	}
+	return out
+}
+
+// pair is one reference system plus one sharded router fed identical
+// mutations.
+type pair struct {
+	ref *core.System
+	rt  *Router
+}
+
+func newPair(t *testing.T, n int, directed bool, shards int, problems []string) *pair {
+	t.Helper()
+	g := streamgraph.New(n, directed)
+	ref := core.NewSystem(g, 4)
+	rt := New(n, directed, shards, 4)
+	for _, p := range problems {
+		if err := ref.Enable(p); err != nil {
+			t.Fatalf("ref enable %s: %v", p, err)
+		}
+		if err := rt.Enable(p); err != nil {
+			t.Fatalf("router enable %s: %v", p, err)
+		}
+	}
+	return &pair{ref: ref, rt: rt}
+}
+
+func (p *pair) insert(t *testing.T, batch []graph.Edge) {
+	t.Helper()
+	rr := p.ref.ApplyBatch(batch)
+	sr := p.rt.ApplyBatch(batch)
+	if rr.Version != sr.Version {
+		t.Fatalf("version skew after insert: ref %d router %d", rr.Version, sr.Version)
+	}
+}
+
+func (p *pair) remove(t *testing.T, batch []graph.Edge) {
+	t.Helper()
+	rr := p.ref.ApplyDeletions(batch)
+	sr := p.rt.ApplyDeletions(batch)
+	if rr.Version != sr.Version {
+		t.Fatalf("version skew after delete: ref %d router %d", rr.Version, sr.Version)
+	}
+}
+
+func valuesMatch(problem string, a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if problem == "PageRank" {
+		for i := range a {
+			if math.Abs(math.Float64frombits(a[i])-math.Float64frombits(b[i])) > prTol {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *pair) compareQueries(t *testing.T, problem string, sources []graph.VertexID) {
+	t.Helper()
+	for _, u := range sources {
+		want, err1 := p.ref.Query(problem, u)
+		got, err2 := p.rt.Query(problem, u)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s query %d: error mismatch ref=%v router=%v", problem, u, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !valuesMatch(problem, want.Values, got.Values) {
+			t.Fatalf("%s query %d: values diverge (ref v%d, router v%d)", problem, u, want.Version, got.Version)
+		}
+		if !valuesMatch("", want.Counts, got.Counts) {
+			t.Fatalf("%s query %d: counts diverge", problem, u)
+		}
+		if want.Radius != got.Radius {
+			t.Fatalf("%s query %d: radius %d vs %d", problem, u, want.Radius, got.Radius)
+		}
+		if want.Width != got.Width {
+			t.Fatalf("%s query %d: width %d vs %d", problem, u, want.Width, got.Width)
+		}
+		if problem != "PageRank" && problem != "CC" && want.Version != got.Version {
+			t.Fatalf("%s query %d: version %d vs %d", problem, u, want.Version, got.Version)
+		}
+	}
+}
+
+func (p *pair) compareFull(t *testing.T, problem string, u graph.VertexID) {
+	t.Helper()
+	want, err1 := p.ref.QueryFull(problem, u)
+	got, err2 := p.rt.QueryFull(problem, u)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("%s full %d: ref err %v, router err %v", problem, u, err1, err2)
+	}
+	if !valuesMatch(problem, want.Values, got.Values) {
+		t.Fatalf("%s full %d: values diverge", problem, u)
+	}
+	if !valuesMatch("", want.Counts, got.Counts) {
+		t.Fatalf("%s full %d: counts diverge", problem, u)
+	}
+	if want.Radius != got.Radius {
+		t.Fatalf("%s full %d: radius %d vs %d", problem, u, want.Radius, got.Radius)
+	}
+	if want.Version != got.Version {
+		t.Fatalf("%s full %d: version %d vs %d", problem, u, want.Version, got.Version)
+	}
+}
+
+func testEquivalence(t *testing.T, directed bool, shards int) {
+	const n = 160
+	rng := rand.New(rand.NewSource(7))
+	p := newPair(t, n, directed, shards, allProblems)
+	sources := []graph.VertexID{0, 3, 17, 42, 99, 158}
+	for round := 0; round < 6; round++ {
+		p.insert(t, randBatch(rng, n, 220))
+		if round == 3 {
+			// Delete a slice of what exists (repeating the generator's
+			// stream guarantees overlap with inserted edges).
+			del := randBatch(rand.New(rand.NewSource(7)), n, 60)
+			p.remove(t, del)
+		}
+		for _, prob := range allProblems {
+			p.compareQueries(t, prob, sources)
+		}
+	}
+	for _, prob := range allProblems {
+		p.compareFull(t, prob, 42)
+	}
+}
+
+func TestEquivalenceDirectedS4(t *testing.T)   { testEquivalence(t, true, 4) }
+func TestEquivalenceUndirectedS4(t *testing.T) { testEquivalence(t, false, 4) }
+func TestEquivalenceDirectedS3(t *testing.T)   { testEquivalence(t, true, 3) }
+
+// TestSingleShardDelegation pins the S=1 fast path: every call routed to
+// the lone core.System, bit-identical results including subscriptions
+// and the Δ-result cache.
+func TestSingleShardDelegation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := newPair(t, 100, true, 1, []string{"SSSP", "PageRank"})
+	p.rt.EnableResultCache(16)
+	p.insert(t, randBatch(rng, 100, 150))
+	p.compareQueries(t, "SSSP", []graph.VertexID{5, 50})
+	if _, err := p.rt.Subscribe("SSSP", 5, 1); err != nil {
+		t.Fatalf("S=1 subscribe should delegate: %v", err)
+	}
+	if got := p.rt.Shards(); got != 1 {
+		t.Fatalf("Shards() = %d", got)
+	}
+	if _, _, ok := p.rt.CachedQuery("SSSP", 5, 0, true); !ok {
+		t.Fatal("S=1 cached query should hit after Query")
+	}
+}
+
+// TestVertexGrowth inserts an edge beyond the initial vertex range: only
+// the owning shard grows, and queries over the enlarged union must still
+// match the reference.
+func TestVertexGrowth(t *testing.T) {
+	p := newPair(t, 50, true, 4, []string{"SSSP", "CC"})
+	p.insert(t, []graph.Edge{{Src: 1, Dst: 2, W: 3}, {Src: 2, Dst: 70, W: 1}, {Src: 70, Dst: 80, W: 2}})
+	if p.rt.NumVertices() != 81 {
+		t.Fatalf("union vertex count = %d, want 81", p.rt.NumVertices())
+	}
+	p.compareQueries(t, "SSSP", []graph.VertexID{1, 2, 70, 80})
+	p.compareQueries(t, "CC", []graph.VertexID{1, 80})
+	// A source beyond the union range errors identically.
+	_, err1 := p.ref.Query("SSSP", 200)
+	_, err2 := p.rt.Query("SSSP", 200)
+	if err1 == nil || err2 == nil {
+		t.Fatalf("out-of-range source: ref err %v, router err %v", err1, err2)
+	}
+}
+
+// TestQueryMany compares the batched path against per-query answers from
+// the reference system.
+func TestQueryMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := newPair(t, 120, true, 4, []string{"SSSP"})
+	p.insert(t, randBatch(rng, 120, 300))
+	sources := []graph.VertexID{4, 9, 9, 33, 77}
+	mr, err := p.rt.QueryMany("SSSP", sources)
+	if err != nil {
+		t.Fatalf("QueryMany: %v", err)
+	}
+	for j, u := range sources {
+		want, err := p.ref.Query("SSSP", u)
+		if err != nil {
+			t.Fatalf("ref query %d: %v", u, err)
+		}
+		for v := range want.Values {
+			if got := mr.Value(graph.VertexID(v), j); got != want.Values[v] {
+				t.Fatalf("QueryMany slot %d vertex %d: %d vs %d", j, v, got, want.Values[v])
+			}
+		}
+	}
+	if _, err := p.rt.QueryMany("SSSP", nil); err == nil {
+		t.Fatal("empty QueryMany should error")
+	}
+	if _, err := p.rt.QueryMany("Radii", sources); err == nil {
+		t.Fatal("non-simple QueryMany should error")
+	}
+}
+
+// TestQueryAt compares historical queries at every retained global
+// version.
+func TestQueryAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := newPair(t, 100, true, 4, []string{"SSSP", "SSNSP"})
+	p.ref.EnableHistory(8)
+	p.rt.EnableHistory(8)
+	for i := 0; i < 5; i++ {
+		p.insert(t, randBatch(rng, 100, 80))
+	}
+	refVers := p.ref.HistoryVersions()
+	rtVers := p.rt.HistoryVersions()
+	if len(refVers) == 0 || len(rtVers) == 0 {
+		t.Fatal("history empty")
+	}
+	// The intersection must agree at every version (ring capacities may
+	// retain slightly different windows; the router records the initial
+	// entry too).
+	retained := make(map[uint64]bool)
+	for _, v := range rtVers {
+		retained[v] = true
+	}
+	checked := 0
+	for _, v := range refVers {
+		if !retained[v] {
+			continue
+		}
+		for _, prob := range []string{"SSSP", "SSNSP"} {
+			want, err1 := p.ref.QueryAt(v, prob, 42)
+			got, err2 := p.rt.QueryAt(v, prob, 42)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("QueryAt v%d %s: ref err %v, router err %v", v, prob, err1, err2)
+			}
+			if !valuesMatch(prob, want.Values, got.Values) {
+				t.Fatalf("QueryAt v%d %s: values diverge", v, prob)
+			}
+			if !valuesMatch("", want.Counts, got.Counts) {
+				t.Fatalf("QueryAt v%d %s: counts diverge", v, prob)
+			}
+			if got.Version != v {
+				t.Fatalf("QueryAt v%d: stamped %d", v, got.Version)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no common retained versions")
+	}
+	// A version that was never retained errors with the sentinel.
+	if _, err := p.rt.QueryAt(9999, "SSSP", 1); err == nil {
+		t.Fatal("missing version should error")
+	}
+}
+
+// TestRouterCache pins the global-version-keyed cache semantics on S>1:
+// hit after Query, stale policy, restamp on no-op batches.
+func TestRouterCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := newPair(t, 80, true, 4, []string{"SSSP"})
+	p.rt.EnableResultCache(8)
+	batch := randBatch(rng, 80, 100)
+	p.insert(t, batch)
+	if _, _, ok := p.rt.CachedQuery("SSSP", 7, 0, true); ok {
+		t.Fatal("cache hit before any query")
+	}
+	res, err := p.rt.Query("SSSP", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, stale, ok := p.rt.CachedQuery("SSSP", 7, 0, true)
+	if !ok || stale != 0 || !valuesMatch("SSSP", cached.Values, res.Values) {
+		t.Fatalf("fresh hit: ok=%v stale=%d", ok, stale)
+	}
+	// Re-inserting the identical batch changes nothing (first-wins dedup):
+	// the merged changed list is empty, so the entry is restamped to the
+	// new global version and still serves exact.
+	p.insert(t, batch)
+	if _, _, ok := p.rt.CachedQuery("SSSP", 7, p.rt.Version(), false); !ok {
+		t.Fatal("no-op batch should restamp cached entry to the new version")
+	}
+	// A genuinely new batch leaves the entry stale; exact-only misses,
+	// stale=ok serves with staleness 1.
+	p.insert(t, randBatch(rng, 80, 50))
+	if _, _, ok := p.rt.CachedQuery("SSSP", 7, 0, false); ok {
+		t.Fatal("exact-only should miss after a real batch")
+	}
+	if _, stale, ok := p.rt.CachedQuery("SSSP", 7, 0, true); !ok || stale != 1 {
+		t.Fatalf("stale=ok should serve with staleness 1, got ok=%v stale=%d", ok, stale)
+	}
+	m := p.rt.ResultCacheMetrics()
+	if m.Hits == 0 || m.Restamps == 0 {
+		t.Fatalf("cache metrics not accounted: %+v", m)
+	}
+}
+
+// TestSubscribeUnsupported pins the S>1 subscription contract.
+func TestSubscribeUnsupported(t *testing.T) {
+	p := newPair(t, 10, true, 2, []string{"BFS"})
+	if _, err := p.rt.Subscribe("BFS", 1, 1); err == nil {
+		t.Fatal("S>1 subscribe should be unsupported")
+	}
+	if got := p.rt.Subscribers(); got != 0 {
+		t.Fatalf("Subscribers() = %d", got)
+	}
+}
