@@ -52,6 +52,14 @@ func (s *System) ApplyDeletionsCtx(ctx context.Context, batch []graph.Edge) (Bat
 	s.stMu.Lock()
 	defer s.stMu.Unlock()
 	parent := s.cur
+	// Resolve each requested arc to its stored weight before the graph
+	// forgets it. Deletion requests identify arcs by endpoints (the
+	// serving layer's /v1/delete lets clients omit the weight entirely),
+	// but the trimmed recovery's witness test compares Relax(val(a), w)
+	// against val(b) using the deleted arc's weight — seeding it with a
+	// phantom weight matches nothing, skips the taint, and leaves
+	// stale-too-good standing values behind.
+	resolved := resolveDeletionWeights(parent, batch)
 	snap, changed := s.G.DeleteEdges(batch)
 	rep := BatchReport{
 		BatchEdges:     len(batch),
@@ -70,7 +78,7 @@ func (s *System) ApplyDeletionsCtx(ctx context.Context, batch []graph.Edge) (Bat
 		for _, name := range s.order {
 			switch h := s.handlers[name].(type) {
 			case trimmer:
-				rep.StandingStats.Add(h.recoverDeletions(view, batch, undirected))
+				rep.StandingStats.Add(h.recoverDeletions(view, resolved, undirected))
 			case rebuilder:
 				rep.StandingStats.Add(h.rebuild(view))
 			}
@@ -86,6 +94,34 @@ func (s *System) ApplyDeletionsCtx(ctx context.Context, batch []graph.Edge) (Bat
 	s.cacheAdvance(changed, prevVersion(parent, snap), snap.Version())
 	s.advance(parent, snap)
 	return rep, nil
+}
+
+// resolveDeletionWeights returns batch with each arc's weight replaced
+// by the weight the pre-deletion snapshot actually stores for it. Arcs
+// the snapshot does not contain keep their requested weight — they
+// delete nothing, so at worst they over-taint, which is sound. On
+// undirected graphs the mirror arc carries the same weight, so the
+// forward lookup alone resolves every existing edge.
+func resolveDeletionWeights(view engine.View, batch []graph.Edge) []graph.Edge {
+	out := append([]graph.Edge(nil), batch...)
+	n := view.NumVertices()
+	// Group requests by source so each adjacency list is walked once.
+	bySrc := make(map[graph.VertexID][]int, len(out))
+	for i := range out {
+		if int(out[i].Src) < n {
+			bySrc[out[i].Src] = append(bySrc[out[i].Src], i)
+		}
+	}
+	for src, idxs := range bySrc {
+		view.ForEachOut(src, func(d graph.VertexID, w graph.Weight) {
+			for _, i := range idxs {
+				if out[i].Dst == d {
+					out[i].W = w
+				}
+			}
+		})
+	}
+	return out
 }
 
 func (h *simpleHandler) recoverDeletions(g engine.View, deleted []graph.Edge, undirected bool) engine.Stats {

@@ -1,0 +1,89 @@
+package core_test
+
+import (
+	"testing"
+
+	"tripoline/internal/core"
+	"tripoline/internal/gen"
+	"tripoline/internal/graph"
+	"tripoline/internal/streamgraph"
+)
+
+// Deletion requests identify arcs by endpoints: the serving layer's
+// /v1/delete lets clients omit the weight, and the loadgen conformance
+// suite found that such weightless deletions silently skipped the
+// trimmed recovery's witness test (Relax with a phantom w=0 matches
+// nothing), leaving stale-too-good standing bounds that incremental
+// queries then served. The system must resolve the stored weight itself.
+func TestDeletionsByEndpointsOnly(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		for _, problem := range []string{"SSSP", "SSWP", "BFS"} {
+			edges := gen.Uniform(200, 1600, 8, 57)
+			g := streamgraph.New(200, directed)
+			g.InsertEdges(edges)
+			sys := core.NewSystem(g, 8)
+			if err := sys.Enable(problem); err != nil {
+				t.Fatal(err)
+			}
+
+			// Delete a slice of real edges, weight field zeroed — exactly
+			// what an endpoints-only API request delivers.
+			del := make([]graph.Edge, 120)
+			for i, e := range edges[300:420] {
+				del[i] = graph.Edge{Src: e.Src, Dst: e.Dst}
+			}
+			sys.ApplyDeletions(del)
+
+			for _, src := range []graph.VertexID{0, 57, 123, 199} {
+				inc, err := sys.Query(problem, src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				full, err := sys.QueryFull(problem, src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range full.Values {
+					if inc.Values[v] != full.Values[v] {
+						t.Fatalf("%s directed=%v src=%d vertex %d: incremental=%d full=%d (stale standing bound survived an endpoints-only deletion)",
+							problem, directed, src, v, inc.Values[v], full.Values[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeletionsWrongWeightRequest pins the adjacent case: a request that
+// names a real arc but carries a wrong weight must still recover exactly
+// (the stored weight wins over the requested one).
+func TestDeletionsWrongWeightRequest(t *testing.T) {
+	edges := gen.Uniform(150, 1200, 8, 58)
+	g := streamgraph.New(150, false)
+	g.InsertEdges(edges)
+	sys := core.NewSystem(g, 4)
+	if err := sys.Enable("SSSP"); err != nil {
+		t.Fatal(err)
+	}
+	del := make([]graph.Edge, 60)
+	for i, e := range edges[100:160] {
+		del[i] = graph.Edge{Src: e.Src, Dst: e.Dst, W: e.W + 3} // deliberately wrong
+	}
+	sys.ApplyDeletions(del)
+	for _, src := range []graph.VertexID{3, 77, 149} {
+		inc, err := sys.Query("SSSP", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := sys.QueryFull("SSSP", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range full.Values {
+			if inc.Values[v] != full.Values[v] {
+				t.Fatalf("src=%d vertex %d: incremental=%d full=%d after wrong-weight deletion request",
+					src, v, inc.Values[v], full.Values[v])
+			}
+		}
+	}
+}

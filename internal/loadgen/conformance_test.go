@@ -1,0 +1,73 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestConformanceCoreVsSharded replays the seeded trace against S=1 and
+// S=4 and requires zero disallowed divergences: same status codes, same
+// error envelope codes, same X-Tripoline-Version, bit-identical answer
+// hashes. The trace is long enough that every op family appears.
+func TestConformanceCoreVsSharded(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cfg := ConformanceConfig{Vertices: 512, Edges: 2048, Shards: 4, Steps: 200, Seed: 7}
+	if testing.Short() {
+		cfg = ConformanceConfig{Vertices: 256, Edges: 1024, Shards: 4, Steps: 60, Seed: 7}
+	}
+	rep, err := RunConformance(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Disallowed() {
+		t.Errorf("divergence: %s", d)
+	}
+	// The allowed subscribe divergence must actually have been exercised:
+	// a trace that never hit /v1/subscribe proves nothing about it.
+	if rep.Allowed == 0 {
+		t.Fatalf("trace produced no subscribe steps (allowed=0); the structural divergence went untested")
+	}
+	t.Logf("conformance: %d steps, %d allowed subscribe divergences, %d real", rep.Steps, rep.Allowed, len(rep.Disallowed()))
+}
+
+// TestConformanceSeedStability pins determinism: the same seed must
+// produce the same divergence profile twice in a row.
+func TestConformanceSeedStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full conformance runs")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cfg := ConformanceConfig{Vertices: 256, Edges: 1024, Shards: 2, Steps: 60, Seed: 11}
+	a, err := RunConformance(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunConformance(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Allowed != b.Allowed || len(a.Divergences) != len(b.Divergences) {
+		t.Fatalf("same seed, different profile: %d/%d vs %d/%d divergences/allowed",
+			len(a.Divergences), a.Allowed, len(b.Divergences), b.Allowed)
+	}
+}
+
+// TestProbeAdmission pins the saturation contract on every gated
+// endpoint: a full gate answers 429 with Retry-After — on the unsharded
+// core and behind the sharded router alike.
+func TestProbeAdmission(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for _, shards := range []int{1, 4} {
+		violations, err := ProbeAdmission(ctx, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for _, v := range violations {
+			t.Errorf("shards=%d: %s", shards, v)
+		}
+	}
+}

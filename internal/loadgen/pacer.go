@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+func yield() { runtime.Gosched() }
+
+// Pacer is a token-bucket rate limiter shared by all workers of one
+// run: capacity burst tokens, refilled at rate tokens per second. The
+// offered load of the whole worker pool is therefore bounded by
+// burst + rate·t over any window t, independent of worker count — the
+// property the closed-loop driver needs to sweep offered RPS.
+//
+// All time flows through the injected Clock, so the arithmetic is
+// exactly testable: with a FakeClock, advancing 100ms at rate 50 grants
+// exactly 5 requests, no scheduling jitter involved.
+type Pacer struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables pacing
+	burst  float64
+	tokens float64
+	last   time.Time
+	clk    Clock
+}
+
+// NewPacer builds a pacer granting rate requests/second with the given
+// burst capacity (minimum 1). rate <= 0 disables pacing: Wait and
+// TryTake always succeed, turning the pool into an unpaced closed loop
+// (each worker issues as fast as responses return) — the mode the
+// saturation sweep uses.
+func NewPacer(rate float64, burst int, clk Clock) *Pacer {
+	if clk == nil {
+		clk = RealClock()
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Pacer{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		last:   clk.Now(),
+		clk:    clk,
+	}
+}
+
+// refill credits tokens for the time elapsed since the last refill,
+// capped at the burst size. Caller holds mu.
+func (p *Pacer) refill(now time.Time) {
+	if dt := now.Sub(p.last); dt > 0 {
+		p.tokens += dt.Seconds() * p.rate
+		if p.tokens > p.burst {
+			p.tokens = p.burst
+		}
+	}
+	p.last = now
+}
+
+// TryTake claims one token without blocking, reporting success.
+func (p *Pacer) TryTake() bool {
+	if p.rate <= 0 {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.refill(p.clk.Now())
+	if p.tokens >= 1 {
+		p.tokens--
+		return true
+	}
+	return false
+}
+
+// Wait blocks until a token is available or ctx is done. The wait is a
+// timer on the injected clock sized to the token deficit, re-checked on
+// wake (another worker may have won the race for the refilled token).
+func (p *Pacer) Wait(ctx context.Context) error {
+	if p.rate <= 0 {
+		return ctx.Err()
+	}
+	for {
+		p.mu.Lock()
+		p.refill(p.clk.Now())
+		if p.tokens >= 1 {
+			p.tokens--
+			p.mu.Unlock()
+			return nil
+		}
+		deficit := 1 - p.tokens
+		p.mu.Unlock()
+		d := time.Duration(deficit / p.rate * float64(time.Second))
+		if d <= 0 {
+			d = time.Nanosecond
+		}
+		select {
+		case <-p.clk.After(d):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Tokens reports the current token balance after a refill — test and
+// debugging visibility, not part of the pacing fast path.
+func (p *Pacer) Tokens() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.refill(p.clk.Now())
+	return p.tokens
+}

@@ -1,0 +1,215 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// All pacer tests run on the fake clock: they advance virtual time and
+// assert exact grant counts, with zero wall-clock sleeps — `go test
+// -short ./internal/loadgen` must not be slower than the scheduler.
+
+func fakeStart() time.Time { return time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC) }
+
+func TestPacerBurstExact(t *testing.T) {
+	clk := NewFakeClock(fakeStart())
+	p := NewPacer(100, 8, clk)
+	for i := 0; i < 8; i++ {
+		if !p.TryTake() {
+			t.Fatalf("take %d of burst 8 refused", i+1)
+		}
+	}
+	if p.TryTake() {
+		t.Fatal("take 9 of burst 8 granted without time advancing")
+	}
+}
+
+func TestPacerRefillExact(t *testing.T) {
+	clk := NewFakeClock(fakeStart())
+	p := NewPacer(50, 8, clk)
+	for p.TryTake() {
+	}
+	// 100ms at 50/s refills exactly 5 tokens (below the burst cap of 8,
+	// so none of the credit is clipped).
+	clk.Advance(100 * time.Millisecond)
+	granted := 0
+	for p.TryTake() {
+		granted++
+	}
+	if granted != 5 {
+		t.Fatalf("100ms at rate 50 granted %d, want exactly 5", granted)
+	}
+}
+
+func TestPacerBurstRecovery(t *testing.T) {
+	clk := NewFakeClock(fakeStart())
+	p := NewPacer(10, 6, clk)
+	for i := 0; i < 6; i++ {
+		p.TryTake()
+	}
+	// A long idle period refills to the burst cap, never past it.
+	clk.Advance(time.Hour)
+	if got := p.Tokens(); got != 6 {
+		t.Fatalf("tokens after long idle = %v, want burst cap 6", got)
+	}
+	granted := 0
+	for p.TryTake() {
+		granted++
+	}
+	if granted != 6 {
+		t.Fatalf("burst after recovery granted %d, want 6", granted)
+	}
+}
+
+func TestPacerWaitWakesOnAdvance(t *testing.T) {
+	clk := NewFakeClock(fakeStart())
+	p := NewPacer(50, 1, clk)
+	if !p.TryTake() {
+		t.Fatal("initial token refused")
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.Wait(context.Background()) }()
+	clk.BlockUntilWaiters(1)
+	// One token at rate 50 needs exactly 20ms.
+	clk.Advance(20 * time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if p.TryTake() {
+		t.Fatal("extra token granted: Wait should have consumed the refill")
+	}
+}
+
+func TestPacerWaitHonorsContext(t *testing.T) {
+	clk := NewFakeClock(fakeStart())
+	p := NewPacer(1, 1, clk)
+	p.TryTake()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Wait(ctx) }()
+	clk.BlockUntilWaiters(1)
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Wait after cancel: %v, want context.Canceled", err)
+	}
+}
+
+// TestPacerExactCountPerInterval drives a closed worker loop through
+// three intervals and asserts the cumulative grant count interval by
+// interval: burst up front, then exactly rate·Δt per advance.
+func TestPacerExactCountPerInterval(t *testing.T) {
+	clk := NewFakeClock(fakeStart())
+	const rate, burst = 100, 10
+	p := NewPacer(rate, burst, clk)
+	var granted atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for p.Wait(ctx) == nil {
+			granted.Add(1)
+		}
+	}()
+
+	// The worker drains the initial burst, then parks on a timer.
+	clk.BlockUntilWaiters(1)
+	if got := granted.Load(); got != burst {
+		t.Fatalf("after burst drain: %d grants, want %d", got, burst)
+	}
+	// Each 100ms interval at 100/s refills exactly 10 tokens — exactly
+	// the burst cap, so as long as the worker drains between intervals no
+	// credit is ever clipped and the cumulative count is exact.
+	want := int64(burst)
+	for interval := 0; interval < 15; interval++ {
+		clk.Advance(100 * time.Millisecond)
+		want += 10
+		deadline := time.Now().Add(10 * time.Second)
+		for granted.Load() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("interval %d: stuck at %d grants, want %d", interval, granted.Load(), want)
+			}
+			yield()
+		}
+		if got := granted.Load(); got != want {
+			t.Fatalf("interval %d: %d grants, want exactly %d", interval, got, want)
+		}
+		// The worker parks again once the refill is spent (tokens < 1).
+		clk.BlockUntilWaiters(1)
+	}
+	cancel()
+	clk.Advance(time.Second) // release the parked Wait so the worker sees ctx
+	wg.Wait()
+}
+
+func TestPacerUnpaced(t *testing.T) {
+	p := NewPacer(0, 1, NewFakeClock(fakeStart()))
+	for i := 0; i < 1000; i++ {
+		if !p.TryTake() {
+			t.Fatal("unpaced pacer refused")
+		}
+	}
+	if err := p.Wait(context.Background()); err != nil {
+		t.Fatalf("unpaced Wait: %v", err)
+	}
+}
+
+// Aggregate pacing bound: N workers contending on one pacer never
+// exceed burst + rate·t grants, and collectively drain exactly the
+// refill. Run under -race in CI.
+func TestPacerConcurrentAggregate(t *testing.T) {
+	clk := NewFakeClock(fakeStart())
+	const rate, burst, workers = 1000, 20, 8
+	p := NewPacer(rate, burst, clk)
+	var granted atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if p.TryTake() {
+					granted.Add(1)
+				} else {
+					yield()
+				}
+			}
+		}()
+	}
+	// Advance one virtual second in 10ms steps, letting the pool drain
+	// each refill before the next advance (otherwise the burst cap would
+	// swallow credit and the count would stop being exact). Each step
+	// refills exactly 10 tokens; the fractional remainder stays below 1,
+	// so after k steps the aggregate is exactly burst + 10k.
+	want := int64(burst)
+	waitFor := func(target int64) {
+		deadline := time.Now().Add(10 * time.Second)
+		for granted.Load() < target {
+			if time.Now().After(deadline) {
+				t.Fatalf("stuck at %d grants waiting for %d", granted.Load(), target)
+			}
+			yield()
+		}
+	}
+	waitFor(want)
+	for i := 0; i < 100; i++ {
+		clk.Advance(10 * time.Millisecond)
+		want += 10
+		waitFor(want)
+	}
+	close(stop)
+	wg.Wait()
+	if got := granted.Load(); got != want {
+		t.Fatalf("aggregate grants = %d, want exactly %d", got, want)
+	}
+}

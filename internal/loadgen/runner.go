@@ -1,0 +1,151 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one scenario run.
+type Config struct {
+	// BaseURL targets a live server ("http://host:port"); required.
+	BaseURL string
+	// Scenario is the workload shape to replay.
+	Scenario Scenario
+	// Workers overrides the scenario's closed-loop worker count (0 keeps
+	// the scenario default).
+	Workers int
+	// RateRPS overrides the offered request rate across all workers
+	// (negative forces unpaced; 0 keeps the scenario default).
+	RateRPS float64
+	// Duration bounds the run; the runner returns a complete report even
+	// when the surrounding context is canceled first (SIGINT).
+	Duration time.Duration
+	// Seed makes the op streams deterministic.
+	Seed uint64
+	// Burst is the pacer burst (0 = one second's worth of rate).
+	Burst int
+	// SubscribeFrames bounds frames consumed per subscribe op (0 = 3).
+	SubscribeFrames int
+	// Client is the HTTP client to use (nil builds one with a generous
+	// connection pool — the worker pool must not serialize on two
+	// default keep-alive connections).
+	Client *http.Client
+	// Clock feeds the pacer (nil = wall clock).
+	Clock Clock
+	// DrainFn, when set and the scenario asks for DrainMidRun, is called
+	// at half Duration — self-hosted targets pass Target.Drain.
+	DrainFn func(context.Context) error
+}
+
+// NewHTTPClient builds the driver's default client: pooled connections
+// sized for the worker count, no global timeout (per-op budgets come
+// from contexts).
+func NewHTTPClient(workers int) *http.Client {
+	tr := &http.Transport{
+		MaxIdleConns:        workers * 2,
+		MaxIdleConnsPerHost: workers * 2,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &http.Client{Transport: tr}
+}
+
+// Run replays one scenario against the target and reports what
+// happened. The run ends at cfg.Duration or when ctx is canceled
+// (whichever is first); cancellation marks the report interrupted but
+// still returns everything recorded so far — the SIGINT contract.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: no target URL")
+	}
+	sc := cfg.Scenario
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = sc.Workers
+	}
+	if workers <= 0 {
+		workers = 8
+	}
+	rate := cfg.RateRPS
+	if rate == 0 {
+		rate = sc.Rate
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = int(rate)
+	}
+	subFrames := cfg.SubscribeFrames
+	if subFrames <= 0 {
+		subFrames = 3
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = NewHTTPClient(workers)
+	}
+
+	c := &client{base: cfg.BaseURL, hc: hc, subFrames: subFrames}
+	if err := c.discover(ctx); err != nil {
+		return nil, err
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	c.rec = NewRecorder(start)
+	pacer := NewPacer(rate, burst, cfg.Clock)
+
+	drained := false
+	var drainWG sync.WaitGroup
+	if cfg.DrainFn != nil && sc.DrainMidRun {
+		drained = true
+		drainWG.Add(1)
+		go func() {
+			defer drainWG.Done()
+			select {
+			case <-time.After(cfg.Duration / 2):
+				// Give the drain the rest of the run (plus slack) to settle;
+				// in-flight work must finish inside it. Derived from ctx, not
+				// runCtx: the drain outlives the run deadline but not SIGINT.
+				dctx, dcancel := context.WithTimeout(ctx, cfg.Duration/2+5*time.Second)
+				defer dcancel()
+				_ = cfg.DrainFn(dctx)
+			case <-runCtx.Done():
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := &worker{c: c, sched: NewScheduler(sc.Mix, cfg.Seed, id)}
+			for {
+				if err := pacer.Wait(runCtx); err != nil {
+					return
+				}
+				if runCtx.Err() != nil {
+					return
+				}
+				w.Do(runCtx, w.sched.Next())
+			}
+		}(i)
+	}
+	wg.Wait()
+	drainWG.Wait()
+
+	rep := c.rec.Snapshot(time.Now())
+	rep.Scenario = sc.Name
+	rep.Target = cfg.BaseURL
+	rep.Seed = cfg.Seed
+	rep.Workers = workers
+	rep.RateRPS = rate
+	rep.Drained = drained
+	rep.Interrupted = ctx.Err() != nil
+	return rep, nil
+}

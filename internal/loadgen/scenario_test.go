@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"testing"
+)
+
+func TestSchedulerDeterministic(t *testing.T) {
+	for _, sc := range Scenarios {
+		a := NewScheduler(sc.Mix, 42, 3)
+		b := NewScheduler(sc.Mix, 42, 3)
+		for i := 0; i < 10_000; i++ {
+			if x, y := a.Next(), b.Next(); x != y {
+				t.Fatalf("%s: draw %d diverged: %v vs %v", sc.Name, i, x, y)
+			}
+		}
+	}
+}
+
+func TestSchedulerWorkersIndependent(t *testing.T) {
+	sc := Scenarios[0]
+	a := NewScheduler(sc.Mix, 42, 0)
+	b := NewScheduler(sc.Mix, 42, 1)
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("two workers drew identical sequences: per-worker seeding broken")
+	}
+}
+
+// The empirical mix must track the weights: over many draws each op's
+// share lands within 2 percentage points of its weight.
+func TestSchedulerMixMatchesWeights(t *testing.T) {
+	for _, sc := range Scenarios {
+		total := 0
+		for _, w := range sc.Mix {
+			total += w.Weight
+		}
+		counts := make(map[Op]int)
+		s := NewScheduler(sc.Mix, 7, 0)
+		const draws = 200_000
+		for i := 0; i < draws; i++ {
+			counts[s.Next()]++
+		}
+		for _, w := range sc.Mix {
+			want := float64(w.Weight) / float64(total)
+			got := float64(counts[w.Op]) / draws
+			if diff := got - want; diff > 0.02 || diff < -0.02 {
+				t.Errorf("%s/%v: share %.3f, want %.3f±0.02", sc.Name, w.Op, got, want)
+			}
+		}
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	want := []string{"query-heavy", "ingest-heavy", "cancel-storm", "subscribe-fanout", "drain-under-load"}
+	if len(Scenarios) != len(want) {
+		t.Fatalf("%d scenarios, want %d", len(Scenarios), len(want))
+	}
+	for i, name := range want {
+		if Scenarios[i].Name != name {
+			t.Fatalf("scenario %d = %q, want %q", i, Scenarios[i].Name, name)
+		}
+		sc, ok := ScenarioByName(name)
+		if !ok || sc.Name != name {
+			t.Fatalf("ScenarioByName(%q) missing", name)
+		}
+		if sc.Workers <= 0 {
+			t.Fatalf("%s: no workers", name)
+		}
+	}
+	if _, ok := ScenarioByName("nope"); ok {
+		t.Fatal("ScenarioByName accepted unknown name")
+	}
+	onlyDrain := 0
+	for _, sc := range Scenarios {
+		if sc.DrainMidRun {
+			onlyDrain++
+		}
+	}
+	if onlyDrain != 1 {
+		t.Fatalf("%d scenarios drain mid-run, want exactly 1", onlyDrain)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	seen := make(map[string]bool)
+	for o := Op(0); o < numOps; o++ {
+		s := o.String()
+		if s == "" || seen[s] {
+			t.Fatalf("op %d name %q empty or duplicate", o, s)
+		}
+		seen[s] = true
+	}
+}

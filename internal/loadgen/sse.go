@@ -1,0 +1,97 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+)
+
+// Minimal SSE client for the loadgen's subscribe worker: parses the
+// `event:`/`data:` line protocol the server emits (one JSON data line
+// per event, blank-line terminated) without any third-party dependency.
+
+// SSEEvent is one parsed server-sent event.
+type SSEEvent struct {
+	Event string
+	Data  []byte
+}
+
+// frameMeta is the slice of a result frame the driver actually inspects
+// (versions for min_version resume; kind for snapshot/delta
+// accounting). The full payload is deliberately not modeled — the
+// loadgen measures the serving layer, it does not verify values (the
+// differential checker owns that).
+type frameMeta struct {
+	Kind    string `json:"kind"`
+	Version uint64 `json:"version"`
+}
+
+// readSSE parses events from r, invoking fn per event until fn returns
+// false, the stream ends, or a read fails. A clean EOF returns nil.
+func readSSE(r io.Reader, fn func(SSEEvent) bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // snapshot frames carry whole value arrays
+	var ev SSEEvent
+	flush := func() bool {
+		if ev.Event == "" && len(ev.Data) == 0 {
+			return true
+		}
+		keep := fn(ev)
+		ev = SSEEvent{}
+		return keep
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case len(line) == 0:
+			if !flush() {
+				return nil
+			}
+		case bytes.HasPrefix(line, []byte("event: ")):
+			ev.Event = string(line[len("event: "):])
+		case bytes.HasPrefix(line, []byte("data: ")):
+			ev.Data = append(ev.Data, line[len("data: "):]...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	flush() // stream ended mid-event; deliver what we have
+	return nil
+}
+
+// SubscribeOutcome summarizes one subscribe stream for the recorder and
+// the resume logic.
+type SubscribeOutcome struct {
+	Frames      int    // result frames received (snapshot + deltas)
+	Goodbye     bool   // server sent the drain goodbye event
+	LastVersion uint64 // version of the last frame (0 if none)
+	Snapshot    bool   // a snapshot frame arrived first
+}
+
+// consumeSSE drains a subscription stream body, stopping after
+// maxFrames result frames or on the goodbye event. Frame versions feed
+// the reconnect-with-min_version resume path.
+func consumeSSE(body io.Reader, maxFrames int) (SubscribeOutcome, error) {
+	var out SubscribeOutcome
+	err := readSSE(body, func(ev SSEEvent) bool {
+		if ev.Event == "goodbye" {
+			out.Goodbye = true
+			return false
+		}
+		var meta frameMeta
+		if json.Unmarshal(ev.Data, &meta) != nil {
+			return true // not a frame (comment/heartbeat); keep reading
+		}
+		out.Frames++
+		if out.Frames == 1 && meta.Kind == "snapshot" {
+			out.Snapshot = true
+		}
+		if meta.Version > out.LastVersion {
+			out.LastVersion = meta.Version
+		}
+		return out.Frames < maxFrames
+	})
+	return out, err
+}

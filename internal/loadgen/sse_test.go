@@ -1,0 +1,254 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// --- pure parser tests -------------------------------------------------
+
+func TestReadSSEParsesFrames(t *testing.T) {
+	stream := "event: snapshot\ndata: {\"kind\":\"snapshot\",\"version\":3}\n\n" +
+		"event: delta\ndata: {\"kind\":\"delta\",\"version\":4}\n\n" +
+		"event: goodbye\ndata: {}\n\n"
+	var events []SSEEvent
+	err := readSSE(strings.NewReader(stream), func(ev SSEEvent) bool {
+		events = append(events, ev)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 || events[0].Event != "snapshot" || events[1].Event != "delta" || events[2].Event != "goodbye" {
+		t.Fatalf("parsed %+v", events)
+	}
+}
+
+func TestConsumeSSEStopsAtGoodbyeAndMax(t *testing.T) {
+	stream := "event: snapshot\ndata: {\"kind\":\"snapshot\",\"version\":1}\n\n" +
+		"event: delta\ndata: {\"kind\":\"delta\",\"version\":2}\n\n" +
+		"event: goodbye\ndata: {}\n\n"
+	out, err := consumeSSE(strings.NewReader(stream), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Goodbye || out.Frames != 2 || out.LastVersion != 2 || !out.Snapshot {
+		t.Fatalf("outcome %+v", out)
+	}
+	// maxFrames stops before the goodbye is seen.
+	out, err = consumeSSE(strings.NewReader(stream), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Goodbye || out.Frames != 1 || out.LastVersion != 1 {
+		t.Fatalf("outcome %+v", out)
+	}
+}
+
+func TestReadSSETruncatedStream(t *testing.T) {
+	// Stream cut mid-event (no terminating blank line): the partial event
+	// is still delivered.
+	stream := "event: delta\ndata: {\"kind\":\"delta\",\"version\":9}\n"
+	var got []SSEEvent
+	if err := readSSE(strings.NewReader(stream), func(ev SSEEvent) bool {
+		got = append(got, ev)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Event != "delta" {
+		t.Fatalf("parsed %+v", got)
+	}
+}
+
+// --- live-server edge cases --------------------------------------------
+
+func sseTarget(t *testing.T) *Target {
+	t.Helper()
+	tgt, err := SelfHost(SelfHostConfig{
+		Vertices: 256, Edges: 1024, Problems: []string{"SSSP"}, K: 4, Seed: 9,
+		HistoryCapacity: 8, CacheEntries: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tgt.Close)
+	return tgt
+}
+
+func applyBatch(t *testing.T, base string, edges ...[3]uint32) uint64 {
+	t.Helper()
+	list := make([]map[string]any, len(edges))
+	for i, e := range edges {
+		list[i] = map[string]any{"src": e[0], "dst": e[1], "w": e[2]}
+	}
+	b, _ := json.Marshal(map[string]any{"edges": list})
+	resp, err := http.Post(base+"/v1/batch", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var out struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Version
+}
+
+// TestSSEDrainGoodbye opens a live stream, then drains the server
+// mid-stream: the client must see the goodbye event, not a dropped
+// connection.
+func TestSSEDrainGoodbye(t *testing.T) {
+	tgt := sseTarget(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, tgt.URL+"/v1/subscribe?problem=SSSP&src=5", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe status %d", resp.StatusCode)
+	}
+
+	drainErr := make(chan error, 1)
+	go func() {
+		// Give the stream a moment to deliver its snapshot, then drain.
+		time.Sleep(100 * time.Millisecond)
+		dctx, dcancel := context.WithTimeout(ctx, 10*time.Second)
+		defer dcancel()
+		drainErr <- tgt.Drain(dctx)
+	}()
+
+	out, err := consumeSSE(resp.Body, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Goodbye {
+		t.Fatalf("stream ended without goodbye: %+v", out)
+	}
+	if !out.Snapshot {
+		t.Fatalf("no snapshot frame before drain: %+v", out)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestLongPollTimeout204 pins the long-poll fallback's no-change
+// contract: ?mode=poll&wait=1 with no writes answers 204 after ~1s.
+func TestLongPollTimeout204(t *testing.T) {
+	tgt := sseTarget(t)
+	start := time.Now()
+	resp, err := http.Get(tgt.URL + "/v1/subscribe?problem=SSSP&src=5&mode=poll&wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status %d, want 204", resp.StatusCode)
+	}
+	if d := time.Since(start); d < 900*time.Millisecond || d > 10*time.Second {
+		t.Fatalf("poll returned after %v, want ~1s", d)
+	}
+}
+
+// TestLongPollDeliversDelta pins the change path: a write during the
+// poll delivers the delta frame with its version header.
+func TestLongPollDeliversDelta(t *testing.T) {
+	tgt := sseTarget(t)
+	type pollResult struct {
+		status  int
+		version string
+		err     error
+	}
+	done := make(chan pollResult, 1)
+	go func() {
+		resp, err := http.Get(tgt.URL + "/v1/subscribe?problem=SSSP&src=5&mode=poll&wait=20")
+		if err != nil {
+			done <- pollResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		done <- pollResult{status: resp.StatusCode, version: resp.Header.Get("X-Tripoline-Version")}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	v := applyBatch(t, tgt.URL, [3]uint32{5, 77, 1}, [3]uint32{77, 130, 2})
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("poll status %d, want 200", res.status)
+	}
+	if res.version != fmt.Sprint(v) {
+		t.Fatalf("poll delivered version %q, batch produced %d", res.version, v)
+	}
+}
+
+// TestSSEReconnectResume pins the resume path the loadgen subscribe op
+// exercises: consume frames, disconnect, then re-read with
+// ?stale=ok&min_version=<last frame version> — the answer must be at
+// least as fresh as the last frame seen.
+func TestSSEReconnectResume(t *testing.T) {
+	tgt := sseTarget(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, tgt.URL+"/v1/subscribe?problem=SSSP&src=9", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe status %d", resp.StatusCode)
+	}
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		applyBatch(t, tgt.URL, [3]uint32{9, 42, 1})
+	}()
+	out, err := consumeSSE(resp.Body, 2) // snapshot + one delta
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Frames < 2 || out.LastVersion == 0 {
+		t.Fatalf("stream outcome %+v, want snapshot+delta with versions", out)
+	}
+
+	// Reconnect: a stale-tolerant read pinned at the last seen version.
+	r2, err := http.Get(fmt.Sprintf("%s/v1/query?problem=SSSP&source=9&stale=ok&min_version=%d", tgt.URL, out.LastVersion))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("resume query status %d", r2.StatusCode)
+	}
+	var got uint64
+	if _, err := fmt.Sscan(r2.Header.Get("X-Tripoline-Version"), &got); err != nil {
+		t.Fatalf("resume version header %q: %v", r2.Header.Get("X-Tripoline-Version"), err)
+	}
+	if got < out.LastVersion {
+		t.Fatalf("resume answered version %d, older than last frame %d", got, out.LastVersion)
+	}
+}

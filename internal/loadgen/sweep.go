@@ -1,0 +1,97 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+)
+
+// SweepPoint is one saturation-curve sample: the query-heavy mix run
+// unpaced (closed loop) against a self-hosted server constructed with
+// one -max-inflight setting. Across settings the curve shows where
+// admission control starts trading 429s for tail latency.
+type SweepPoint struct {
+	MaxInFlight int     `json:"max_inflight"`
+	Workers     int     `json:"workers"`
+	Total       int64   `json:"total_requests"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	P50         float64 `json:"p50"`
+	P99         float64 `json:"p99"`
+	P999        float64 `json:"p999"`
+	Rejected    int64   `json:"rejected_429"`
+	Deadline    int64   `json:"deadline_504"`
+}
+
+// SaturationSweep runs the scenario once per max-inflight setting, each
+// against a fresh self-hosted server (max-inflight is a server
+// construction parameter, so the sweep always self-hosts — a remote
+// target cannot be re-admissioned from here). workers should exceed the
+// largest setting or the gate never saturates.
+func SaturationSweep(ctx context.Context, base SelfHostConfig, sc Scenario, maxInflights []int, workers int, duration time.Duration, seed uint64, progress io.Writer) ([]SweepPoint, error) {
+	if len(maxInflights) == 0 {
+		return nil, fmt.Errorf("loadgen: sweep needs at least one -max-inflight setting")
+	}
+	var points []SweepPoint
+	for _, m := range maxInflights {
+		cfg := base
+		cfg.MaxInFlight = m
+		cfg.QueueDepth = m // a slot's worth of queue: enough to smooth, small enough to saturate
+		t, err := SelfHost(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := Run(ctx, Config{
+			BaseURL:  t.URL,
+			Scenario: sc,
+			Workers:  workers,
+			RateRPS:  -1, // unpaced: the closed loop discovers the capacity
+			Duration: duration,
+			Seed:     seed,
+		})
+		t.Close()
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: sweep at max-inflight=%d: %w", m, err)
+		}
+		pt := sweepPointFrom(rep, m, workers)
+		points = append(points, pt)
+		if progress != nil {
+			fmt.Fprintf(progress, "sweep max-inflight=%-4d  %10.1f req/s  p50=%8.3fms p99=%8.3fms p999=%8.3fms  429=%d 504=%d\n",
+				m, pt.AchievedRPS, pt.P50*1e3, pt.P99*1e3, pt.P999*1e3, pt.Rejected, pt.Deadline)
+		}
+		if err := ctx.Err(); err != nil {
+			return points, err
+		}
+	}
+	return points, nil
+}
+
+// sweepPointFrom condenses a report into one curve sample, pooling the
+// query-family ops (the saturation story is about evaluation slots, so
+// writes and stats probes stay out of the latency pool).
+func sweepPointFrom(rep *Report, maxInflight, workers int) SweepPoint {
+	pt := SweepPoint{
+		MaxInFlight: maxInflight,
+		Workers:     workers,
+		Total:       rep.Total,
+		AchievedRPS: rep.AchievedRPS,
+	}
+	// Use the dominant query op for quantiles (pooled histograms are not
+	// mergeable post-hoc without raw samples; "query" carries the bulk of
+	// the mix by construction).
+	if or, ok := rep.Ops["query"]; ok {
+		pt.P50, pt.P99, pt.P999 = or.P50, or.P99, or.P999
+	}
+	for _, or := range rep.Ops {
+		pt.Rejected += or.Status["429"]
+		pt.Deadline += or.Status["504"]
+	}
+	// The per-problem sub-keys double-count the op-level 429/504 entries.
+	for k, or := range rep.Ops {
+		if isSubKey(k) {
+			pt.Rejected -= or.Status["429"]
+			pt.Deadline -= or.Status["504"]
+		}
+	}
+	return pt
+}

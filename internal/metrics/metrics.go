@@ -105,6 +105,56 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// rank, the same estimate Prometheus's histogram_quantile produces. The
+// first bucket interpolates from zero; ranks landing in the +Inf bucket
+// clamp to the largest finite bound (the histogram cannot know how far
+// past it the tail reaches). Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q <= 0 || q > 1 {
+		return 0
+	}
+	_, cum := h.Snapshot()
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	for i, c := range cum {
+		if float64(c) < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1] // +Inf bucket: clamp
+		}
+		lo, prev := 0.0, int64(0)
+		if i > 0 {
+			lo, prev = h.bounds[i-1], cum[i-1]
+		}
+		in := float64(c - prev)
+		return lo + (h.bounds[i]-lo)*(rank-float64(prev))/in
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start, each factor times the last — the shape latency measurement
+// wants (constant relative error). start and factor must be positive,
+// factor > 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("metrics: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() int64 {
 	var n int64

@@ -119,3 +119,61 @@ func TestWritePrometheus(t *testing.T) {
 		t.Fatal("output not in registration order")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 samples uniform in (0,1]: every rank lands in the first bucket,
+	// interpolated from zero.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); got != 0.5 {
+		t.Fatalf("p50 = %v, want 0.5 (interpolated in [0,1])", got)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Fatalf("p100 = %v, want 1", got)
+	}
+
+	// Push 100 more into (1,2]: p50 is now the first bucket's upper bound,
+	// p75 the middle of the second bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(1 + float64(i)/100)
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %v, want 1", got)
+	}
+	if got := h.Quantile(0.75); got != 1.5 {
+		t.Fatalf("p75 = %v, want 1.5", got)
+	}
+
+	// A sample past the last bound clamps tail quantiles to that bound.
+	h.Observe(100)
+	if got := h.Quantile(0.9999); got != 8 {
+		t.Fatalf("p99.99 = %v, want clamp to 8", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("q=0 = %v, want 0", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExpBuckets(0, 2, 3) did not panic")
+		}
+	}()
+	ExpBuckets(0, 2, 3)
+}

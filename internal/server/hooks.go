@@ -1,0 +1,13 @@
+package server
+
+// SetTestHookAdmitted installs f to run inside every admitted request
+// just before its handler, and returns a restore func. Harnesses (the
+// package's own lifecycle tests, the loadgen conformance probe) use it
+// to hold requests in flight deterministically — e.g. to pin the
+// admission gate full while probing every endpoint for 429 behavior.
+// Not safe to swap while requests are in flight; nil in production.
+func SetTestHookAdmitted(f func(kind string)) (restore func()) {
+	old := testHookAdmitted
+	testHookAdmitted = f
+	return func() { testHookAdmitted = old }
+}

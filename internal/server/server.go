@@ -657,6 +657,7 @@ type queryManyResponse struct {
 	Problem string   `json:"problem"`
 	Sources []uint32 `json:"sources"`
 	Width   int      `json:"width"`
+	Version uint64   `json:"version"`
 	Seconds float64  `json:"seconds"`
 	// Values is the stride-Width array: Values[x*Width+j] is query j's
 	// value at vertex x.
@@ -679,10 +680,14 @@ func (s *Server) handleQueryMany(ctx context.Context, w http.ResponseWriter, r *
 	}
 	s.met.queriesIncremental.Add(int64(len(sources)))
 	s.met.observeEngine(res.Stats)
+	// Same version contract as /v1/query: the snapshot the whole batch
+	// evaluated against, in both the header and the body.
+	w.Header().Set("X-Tripoline-Version", strconv.FormatUint(res.Version, 10))
 	return writeJSON(w, queryManyResponse{
 		Problem: res.Problem,
 		Sources: req.Sources,
 		Width:   res.Width,
+		Version: res.Version,
 		Seconds: res.Elapsed.Seconds(),
 		Values:  res.Values,
 	})
